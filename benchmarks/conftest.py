@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The main
+end-to-end sweep (3 clusters x 6 schedulers) is expensive, so it runs once
+per session and is shared by the Table 4/5 and Figure 8/9 benchmarks.
+
+Each benchmark prints its table *and* writes it to
+``benchmarks/results/<name>.txt`` so the artifacts survive pytest's output
+capture; EXPERIMENTS.md indexes them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Optional
+
+import pytest
+
+from repro import Simulator, TraceGenerator, make_scheduler
+from repro.core import LucidConfig, LucidScheduler
+from repro.sim import SimulationResult
+from repro.traces import PHILLY, SATURN, VENUS, TraceSpec
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCHEDULERS = ("fifo", "sjf", "qssf", "horus", "tiresias", "lucid")
+CLUSTERS: Dict[str, TraceSpec] = {
+    "venus": VENUS,
+    "saturn": SATURN,
+    "philly": PHILLY,
+}
+
+
+def run_sim(spec: TraceSpec, scheduler_name: str,
+            config: Optional[LucidConfig] = None) -> SimulationResult:
+    """Generate the trace for ``spec`` and replay it under one scheduler."""
+    generator = TraceGenerator(spec)
+    cluster = generator.build_cluster()
+    history = generator.generate_history()
+    jobs = generator.generate()
+    if scheduler_name == "lucid" and config is not None:
+        scheduler = LucidScheduler(history, config=config)
+    else:
+        scheduler = make_scheduler(scheduler_name, history)
+    return Simulator(cluster, jobs, scheduler).run()
+
+
+@pytest.fixture(scope="session")
+def e2e_results() -> Dict[str, Dict[str, SimulationResult]]:
+    """The full 3-cluster x 6-scheduler sweep (Table 4 raw data)."""
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    for cluster_name, spec in CLUSTERS.items():
+        out[cluster_name] = {}
+        for scheduler_name in SCHEDULERS:
+            out[cluster_name][scheduler_name] = run_sim(spec, scheduler_name)
+    return out
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Print a benchmark table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Reproduction benchmarks are full simulations; statistical re-runs would
+    multiply minutes of work for no extra information, so a single timed
+    round is recorded.
+    """
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return _once

@@ -1,0 +1,85 @@
+"""Figure 2 — colocation characterization.
+
+(a) Normalized jobpair speed against accumulated GPU utilization, with the
+    fitted-curve anchor near 0.92x at 100% accumulated utilization.
+(b) Average packing effect of batch size and mixed precision: AMP pairs
+    retain more speed at every batch size.
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.workloads import (
+    InterferenceModel,
+    MODEL_ZOO,
+    get_profile,
+    measure_all_pairs,
+)
+from repro.workloads.model_zoo import WorkloadConfig
+
+
+def test_fig02a_speed_vs_accumulated_util(once, record_result):
+    model = InterferenceModel()
+    measurements = once(measure_all_pairs, model)
+
+    utils = np.array([m.accumulated_util for m in measurements])
+    speeds = np.array([m.average_speed for m in measurements])
+    rows = []
+    for lo in range(0, 200, 25):
+        mask = (utils >= lo) & (utils < lo + 25)
+        if mask.any():
+            rows.append([f"{lo}-{lo + 25}", int(mask.sum()),
+                         float(speeds[mask].mean()),
+                         float(speeds[mask].min())])
+    table = ascii_table(
+        ["accumulated util (%)", "pairs", "mean speed", "min speed"], rows,
+        title="Figure 2a: jobpair speed vs accumulated GPU utilization")
+    near_100 = float(speeds[(utils > 90) & (utils < 110)].mean())
+    table += (f"\nmean speed near 100% accumulated util: {near_100:.3f}"
+              f"  (paper: ~0.92)")
+    record_result("fig02a_packing_curve", table)
+
+    assert 0.85 <= near_100 <= 0.97
+    # Monotone degradation across buckets.
+    means = [row[2] for row in rows]
+    assert all(a >= b - 0.02 for a, b in zip(means, means[1:]))
+
+
+def test_fig02b_batch_size_and_amp(once, record_result):
+    model = InterferenceModel()
+
+    def measure():
+        rows = []
+        for batch in (32, 64, 128):
+            for amp in (False, True):
+                speeds = []
+                for name, spec in MODEL_ZOO.items():
+                    if batch not in spec.batch_sizes:
+                        continue
+                    if amp and not spec.supports_amp:
+                        continue
+                    profile = spec.profile(batch, amp)
+                    for mate_name, mate_spec in MODEL_ZOO.items():
+                        mate = mate_spec.profile(
+                            64 if 64 in mate_spec.batch_sizes else
+                            mate_spec.batch_sizes[0], False)
+                        if not model.memory_fits((profile, mate)):
+                            continue
+                        pair = model.pair_speeds(
+                            profile, mate, pair_key=(name, mate_name))
+                        speeds.append(pair.first)
+                rows.append([batch, int(amp), float(np.mean(speeds))])
+        return rows
+
+    rows = once(measure)
+    table = ascii_table(["batch size", "AMP", "mean packed speed"], rows,
+                        title="Figure 2b: batch size / AMP packing effect",
+                        precision=3)
+    record_result("fig02b_batch_amp", table)
+
+    by_key = {(batch, amp): speed for batch, amp, speed in rows}
+    # AMP delivers extra packing benefit at every batch size (Figure 2b).
+    for batch in (32, 64, 128):
+        assert by_key[(batch, 1)] > by_key[(batch, 0)]
+    # Larger batches pack slightly worse (higher utilization).
+    assert by_key[(128, 0)] < by_key[(32, 0)]

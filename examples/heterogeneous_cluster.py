@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Heterogeneous GPU scheduling (paper §6 future work).
+
+Builds a cluster mixing four GPU generations (K80 → A100, Figure 1b) and
+compares type-blind Lucid against the generation-aware extension, which
+places each job on the slowest generation whose extra runtime stays within
+tolerance — long jobs hold out for fast silicon, short debugging jobs soak
+up the legacy racks.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro import Simulator, TraceGenerator
+from repro.analysis import ascii_table
+from repro.cluster.hetero import (
+    A100,
+    K80,
+    RTX3090,
+    V100,
+    build_heterogeneous_cluster,
+    node_speed,
+)
+from repro.core import LucidScheduler
+from repro.core.hetero_lucid import HeteroLucidScheduler
+from repro.traces import TraceSpec
+
+SPEC = TraceSpec(
+    name="hetero-demo", n_nodes=8, n_vcs=1, n_jobs=400, full_n_jobs=400,
+    mean_duration=2500.0, span_days=0.5, n_users=16, seed=555,
+)
+
+LAYOUT = {"vc01": [(K80, 4), (V100, 2), (RTX3090, 1), (A100, 1)]}
+
+
+def run(scheduler_cls):
+    generator = TraceGenerator(SPEC)
+    history = generator.generate_history()
+    jobs = generator.generate()
+    cluster = build_heterogeneous_cluster(LAYOUT)
+    return Simulator(cluster, jobs, scheduler_cls(history)).run()
+
+
+def main() -> None:
+    cluster = build_heterogeneous_cluster(LAYOUT)
+    print("Cluster layout:")
+    for node in cluster.nodes:
+        print(f"  node {node.node_id}: {node.gpu_type.name:8s} "
+              f"(speed {node_speed(node):.2f}x, "
+              f"{node.gpus[0].memory_mb / 1024:.0f} GB)")
+    print()
+
+    rows = []
+    for name, cls in (("lucid (type-blind)", LucidScheduler),
+                      ("lucid-hetero (aware)", HeteroLucidScheduler)):
+        print(f"simulating {name} ...")
+        result = run(cls)
+        rows.append([name, result.avg_jct / 3600.0,
+                     result.avg_queue_delay / 3600.0,
+                     result.utilization.gpu_busy])
+    print()
+    print(ascii_table(
+        ["scheduler", "avg JCT (h)", "avg queue (h)", "GPU busy"],
+        rows, title="Type-blind vs generation-aware Lucid"))
+    print("\nThe aware variant keeps long jobs off the K80s (0.25x) and "
+          "lets short\ndebugging jobs absorb them — the paper's proposed "
+          "'heterogeneous GPU\nselection by more fine-grained profiling'.")
+
+
+if __name__ == "__main__":
+    main()

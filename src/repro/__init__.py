@@ -1,0 +1,92 @@
+"""repro — reproduction of Lucid (ASPLOS '23).
+
+A from-scratch Python implementation of the Lucid non-intrusive DL-cluster
+scheduler, its substrates (cluster/workload/trace models, a discrete-event
+simulator, an interpretable-model toolkit), the baselines it is compared
+against, and a benchmark harness regenerating every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import quick_simulation
+    result = quick_simulation("venus", scheduler="lucid", n_jobs=500)
+    print(result.summary())
+"""
+
+from repro.core import LucidConfig, LucidScheduler
+from repro.sim import SimulationResult, Simulator
+from repro.traces import PHILLY, SATURN, VENUS, TraceGenerator, TraceSpec, get_spec
+from repro.workloads import InterferenceModel, Job
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LucidConfig",
+    "LucidScheduler",
+    "SimulationResult",
+    "Simulator",
+    "TraceGenerator",
+    "TraceSpec",
+    "VENUS",
+    "SATURN",
+    "PHILLY",
+    "get_spec",
+    "InterferenceModel",
+    "Job",
+    "quick_simulation",
+    "make_scheduler",
+]
+
+
+def make_scheduler(name, history, **kwargs):
+    """Instantiate a scheduler by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``fifo``, ``sjf``, ``qssf``, ``tiresias``, ``horus``,
+        ``lucid``.
+    history:
+        Historical jobs (required by the learned schedulers; ignored by
+        the others).
+    kwargs:
+        Forwarded to the scheduler constructor (e.g. ``config=`` for
+        Lucid).
+    """
+    from repro.schedulers import (
+        FIFOScheduler,
+        HorusScheduler,
+        QSSFScheduler,
+        SJFScheduler,
+        TiresiasScheduler,
+    )
+
+    factories = {
+        "fifo": lambda: FIFOScheduler(**kwargs),
+        "sjf": lambda: SJFScheduler(**kwargs),
+        "qssf": lambda: QSSFScheduler(history, **kwargs),
+        "tiresias": lambda: TiresiasScheduler(**kwargs),
+        "horus": lambda: HorusScheduler(history, **kwargs),
+        "lucid": lambda: LucidScheduler(history, **kwargs),
+    }
+    try:
+        return factories[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; "
+                       f"known: {sorted(factories)}") from None
+
+
+def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
+                     seed=None, **scheduler_kwargs):
+    """Generate a trace, run one scheduler over it, return the results."""
+    spec = get_spec(trace)
+    if n_jobs is not None:
+        spec = spec.with_jobs(n_jobs)
+    if seed is not None:
+        spec = spec.with_seed(seed)
+    generator = TraceGenerator(spec)
+    cluster = generator.build_cluster()
+    history = generator.generate_history()
+    jobs = generator.generate()
+    sched = make_scheduler(scheduler, history, **scheduler_kwargs)
+    return Simulator(cluster, jobs, sched).run()

@@ -1,0 +1,25 @@
+"""Reporting helpers for examples and benchmarks."""
+
+from repro.analysis.fairness import (
+    finish_time_fairness,
+    group_slowdowns,
+    jain_index,
+    slowdown,
+    starvation_ratio,
+    user_fairness,
+    vc_fairness,
+)
+from repro.analysis.report import ascii_table, cdf_summary, comparison_table
+
+__all__ = [
+    "ascii_table",
+    "cdf_summary",
+    "comparison_table",
+    "finish_time_fairness",
+    "group_slowdowns",
+    "jain_index",
+    "slowdown",
+    "starvation_ratio",
+    "user_fairness",
+    "vc_fairness",
+]

@@ -1,0 +1,78 @@
+"""Fairness metrics — the paper's first future-work direction (§6).
+
+Lucid's evaluation already touches fairness through tail queuing (Table 4)
+and job-scale analysis (Table 5); this module adds the standard quantities
+a fairness-aware extension would optimize, computable from any
+:class:`~repro.sim.metrics.SimulationResult`:
+
+* **Jain's fairness index** over per-group average slowdown — 1.0 when all
+  groups are treated identically, 1/n in the worst case.
+* **Finish-time fairness (rho)** in the spirit of Themis: a job's JCT
+  divided by its ideal JCT (its duration), aggregated per group.
+* **Max/mean queue ratio** — a blunt starvation indicator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import SimulationResult
+from repro.workloads.job import JobRecord
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("jain_index needs at least one value")
+    denom = arr.size * float(np.sum(arr ** 2))
+    if denom == 0.0:
+        return 1.0  # all zeros: perfectly equal
+    return float(np.sum(arr) ** 2 / denom)
+
+
+def slowdown(record: JobRecord) -> float:
+    """JCT normalized by ideal (queue-free, exclusive) completion time."""
+    return record.jct / max(record.duration, 1e-9)
+
+
+def group_slowdowns(result: SimulationResult,
+                    key: Callable[[JobRecord], str]) -> Dict[str, float]:
+    """Average slowdown per group (e.g. per user or per VC)."""
+    groups: Dict[str, list] = {}
+    for record in result.records:
+        groups.setdefault(key(record), []).append(slowdown(record))
+    return {name: float(np.mean(values)) for name, values in groups.items()}
+
+
+def user_fairness(result: SimulationResult) -> float:
+    """Jain's index over per-user average slowdowns."""
+    return jain_index(list(group_slowdowns(
+        result, lambda r: r.user).values()))
+
+
+def vc_fairness(result: SimulationResult) -> float:
+    """Jain's index over per-VC average slowdowns."""
+    return jain_index(list(group_slowdowns(result, lambda r: r.vc).values()))
+
+
+def finish_time_fairness(result: SimulationResult) -> Dict[str, float]:
+    """Summary of the per-job slowdown distribution (Themis' rho)."""
+    rhos = np.array([slowdown(r) for r in result.records])
+    if rhos.size == 0:
+        return {"mean": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": float(rhos.mean()),
+        "p95": float(np.percentile(rhos, 95)),
+        "max": float(rhos.max()),
+    }
+
+
+def starvation_ratio(result: SimulationResult) -> float:
+    """Max queue delay over mean queue delay (1.0 = perfectly even)."""
+    delays = result.queue_delays()
+    if delays.size == 0 or delays.mean() <= 0:
+        return 1.0
+    return float(delays.max() / delays.mean())

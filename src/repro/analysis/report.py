@@ -1,0 +1,83 @@
+"""Report formatting for examples and the benchmark harness.
+
+Every benchmark prints the paper's reported numbers next to the measured
+ones so the *shape* comparison (who wins, by what factor) is auditable at
+a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                title: Optional[str] = None, precision: int = 2) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def comparison_table(metric: str, paper: Dict[str, float],
+                     measured: Dict[str, float],
+                     title: Optional[str] = None) -> str:
+    """Side-by-side paper-vs-measured table with normalized columns.
+
+    Both columns are additionally normalized to their respective best
+    (minimum) entry, because the reproduction is expected to match ratios,
+    not absolute values.
+    """
+    keys = [k for k in paper if k in measured]
+    best_paper = min(paper[k] for k in keys) if keys else 1.0
+    best_measured = min(measured[k] for k in keys) if keys else 1.0
+    rows = []
+    for key in keys:
+        rows.append([
+            key,
+            paper[key],
+            paper[key] / best_paper if best_paper > 1e-9 else None,
+            measured[key],
+            measured[key] / best_measured if best_measured > 1e-9 else None,
+        ])
+    headers = [metric, "paper", "paper/best", "measured", "measured/best"]
+    return ascii_table(headers, rows, title=title)
+
+
+def cdf_summary(xs, cdf, points: Sequence[float]) -> Dict[float, float]:
+    """Sample a CDF at the given x points (for compact CDF reporting)."""
+    import numpy as np
+
+    xs = np.asarray(xs)
+    cdf = np.asarray(cdf)
+    out = {}
+    for point in points:
+        idx = int(np.searchsorted(xs, point, side="right")) - 1
+        out[point] = float(cdf[max(0, min(idx, len(cdf) - 1))])
+    return out

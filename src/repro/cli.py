@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate
+    Generate a synthetic trace (or load a CSV) and replay it under one
+    scheduler; prints the summary metrics and optionally exports per-job
+    records.
+compare
+    Run several schedulers over the same trace and print a Table-4-style
+    comparison.
+models
+    Train Lucid's three interpretable models on a trace's history and
+    print their interpretations (Figures 6/7).
+packing
+    Print the colocation characterization and Indolent Packing decisions
+    (Figures 2/5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro import Simulator, TraceGenerator, get_spec, make_scheduler
+from repro.analysis import ascii_table, user_fairness
+from repro.sim import SimulationResult
+
+SCHEDULER_CHOICES = ("fifo", "sjf", "qssf", "horus", "tiresias", "lucid")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lucid (ASPLOS '23) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="replay one trace/scheduler")
+    _trace_args(sim)
+    sim.add_argument("--scheduler", default="lucid",
+                     choices=SCHEDULER_CHOICES)
+    sim.add_argument("--export", metavar="CSV",
+                     help="write per-job records to a CSV file")
+
+    cmp_cmd = sub.add_parser("compare", help="compare schedulers")
+    _trace_args(cmp_cmd)
+    cmp_cmd.add_argument("--schedulers", default=",".join(SCHEDULER_CHOICES),
+                         help="comma-separated scheduler list")
+
+    models = sub.add_parser("models", help="inspect interpretable models")
+    _trace_args(models)
+
+    packing = sub.add_parser("packing", help="colocation characterization")
+    packing.add_argument("--threshold", type=float, default=0.85,
+                         help="interference-free speed threshold")
+    return parser
+
+
+def _trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default="venus",
+                        help="venus|saturn|philly or a CSV file path")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="override the job count")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the trace seed")
+
+
+def _load(args) -> tuple:
+    """Resolve (cluster, history, jobs) from --trace/--jobs/--seed."""
+    name = args.trace.lower()
+    try:
+        spec = get_spec(name)
+    except KeyError:
+        spec = None
+    if spec is not None:
+        if args.jobs is not None:
+            spec = spec.with_jobs(args.jobs)
+        if args.seed is not None:
+            spec = spec.with_seed(args.seed)
+        generator = TraceGenerator(spec)
+        return (generator.build_cluster(), generator.generate_history(),
+                generator.generate())
+    # Treat --trace as a CSV file.
+    from repro.cluster import Cluster
+    from repro.traces.io import read_trace_csv, split_history
+    jobs = read_trace_csv(args.trace, seed=args.seed or 0,
+                          max_jobs=args.jobs)
+    history, evaluation = split_history(jobs)
+    peak = max((j.gpu_num for j in evaluation), default=1)
+    vcs = sorted({j.vc for j in evaluation})
+    demand = sum(j.duration * j.gpu_num for j in evaluation)
+    span = max(1.0, evaluation[-1].submit_time) if evaluation else 1.0
+    nodes_per_vc = max(peak // 8 + 1, int(demand / span / 0.5 / 8 /
+                                          max(1, len(vcs))) + 1)
+    cluster = Cluster({vc: nodes_per_vc for vc in vcs})
+    return cluster, history, evaluation
+
+
+def _summary_row(name: str, result: SimulationResult,
+                 elapsed: float) -> List:
+    summary = result.summary()
+    return [
+        name,
+        summary["avg_jct_hrs"],
+        summary["avg_queue_hrs"],
+        summary["p999_queue_hrs"],
+        summary["gpu_busy"],
+        summary["profiler_finish_rate"],
+        user_fairness(result) if result.records else 0.0,
+        elapsed,
+    ]
+
+
+_HEADERS = ["scheduler", "avg JCT (h)", "avg queue (h)", "p99.9 queue (h)",
+            "GPU busy", "profiler finish", "user fairness", "sim time (s)"]
+
+
+def cmd_simulate(args) -> int:
+    cluster, history, jobs = _load(args)
+    print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
+          f"({len(cluster.vcs)} VCs) under {args.scheduler}")
+    started = time.perf_counter()
+    result = Simulator(cluster, jobs,
+                       make_scheduler(args.scheduler, history)).run()
+    elapsed = time.perf_counter() - started
+    print(ascii_table(_HEADERS, [_summary_row(args.scheduler, result,
+                                              elapsed)]))
+    if args.export:
+        with open(args.export, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["job_id", "user", "vc", "gpu_num", "duration",
+                             "jct", "queue_delay", "preemptions",
+                             "finished_in_profiler"])
+            for record in result.records:
+                writer.writerow([
+                    record.job_id, record.user, record.vc, record.gpu_num,
+                    f"{record.duration:.1f}", f"{record.jct:.1f}",
+                    f"{record.queue_delay:.1f}", record.preemptions,
+                    int(record.finished_in_profiler),
+                ])
+        print(f"wrote {len(result.records)} records to {args.export}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    for name in names:
+        if name not in SCHEDULER_CHOICES:
+            print(f"unknown scheduler {name!r}", file=sys.stderr)
+            return 2
+    rows = []
+    for name in names:
+        cluster, history, jobs = _load(args)
+        started = time.perf_counter()
+        result = Simulator(cluster, jobs,
+                           make_scheduler(name, history)).run()
+        rows.append(_summary_row(name, result,
+                                 time.perf_counter() - started))
+        print(f"  {name}: done", file=sys.stderr)
+    print(ascii_table(_HEADERS, rows, title="Scheduler comparison"))
+    return 0
+
+
+def cmd_models(args) -> int:
+    from repro.core import (
+        PackingAnalyzeModel,
+        ThroughputPredictModel,
+        WorkloadEstimateModel,
+    )
+    from repro.workloads import InterferenceModel
+
+    _, history, _ = _load(args)
+    packing = PackingAnalyzeModel().fit(InterferenceModel())
+    print("Packing Analyze Model (Figure 6):")
+    print(packing.explain_text())
+    print(ascii_table(["feature", "Gini importance"],
+                      packing.feature_importances(), precision=3))
+
+    throughput = ThroughputPredictModel().fit_events(
+        [j.submit_time for j in history])
+    print("\nThroughput Predict Model importances (Figure 7a):")
+    print(ascii_table(["feature", "avg |score|"],
+                      throughput.explain_global().top_features(8),
+                      precision=3))
+
+    estimator = WorkloadEstimateModel().fit(history)
+    job = history[len(history) // 2]
+    local = estimator.explain_local(job)
+    print(f"\nWorkload Estimate Model local explanation for {job.name!r} "
+          "(Figure 7c):")
+    print(ascii_table(["feature", "value", "score"],
+                      local.sorted_by_magnitude(), precision=3))
+    return 0
+
+
+def cmd_packing(args) -> int:
+    import numpy as np
+
+    from repro.core import PackingAnalyzeModel
+    from repro.workloads import InterferenceModel, get_profile, \
+        measure_all_pairs
+
+    interference = InterferenceModel()
+    measurements = measure_all_pairs(interference)
+    model = PackingAnalyzeModel().fit(interference)
+    packable = [m for m in measurements
+                if model.sharing_score(get_profile(m.config_a))
+                + model.sharing_score(get_profile(m.config_b)) <= 2]
+    rejected = [m for m in measurements if m not in packable]
+    good = sum(1 for m in packable if m.average_speed >= args.threshold)
+    print(ascii_table(
+        ["decision", "pairs", "mean speed"],
+        [["packable (GSS <= 2)", len(packable),
+          float(np.mean([m.average_speed for m in packable]))],
+         ["rejected (GSS > 2)", len(rejected),
+          float(np.mean([m.average_speed for m in rejected]))]],
+        title="Indolent Packing decisions (Figure 5)"))
+    print(f"interference-free rate: {good / max(1, len(packable)):.1%} "
+          f"(threshold {args.threshold})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "compare": cmd_compare,
+        "models": cmd_models,
+        "packing": cmd_packing,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

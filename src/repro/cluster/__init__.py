@@ -1,0 +1,52 @@
+"""Cluster substrate: GPUs, nodes, virtual clusters and placement."""
+
+from repro.cluster.cluster import Cluster, VirtualCluster, make_vc_names
+from repro.cluster.gpu import GPU, MAX_RESIDENTS
+from repro.cluster.node import CPUS_PER_NODE, GPUS_PER_NODE, Node
+from repro.cluster.hetero import (
+    A100,
+    GPU_TYPES,
+    GPUType,
+    K80,
+    P100,
+    RTX3090,
+    V100,
+    allocation_speed,
+    build_heterogeneous_cluster,
+    find_consolidated_typed,
+    find_tolerant_placement,
+    node_speed,
+)
+from repro.cluster.placement import (
+    find_consolidated,
+    find_relaxed,
+    find_shared,
+    free_gpu_fragmentation,
+)
+
+__all__ = [
+    "Cluster",
+    "VirtualCluster",
+    "make_vc_names",
+    "GPU",
+    "MAX_RESIDENTS",
+    "Node",
+    "GPUS_PER_NODE",
+    "CPUS_PER_NODE",
+    "find_consolidated",
+    "find_relaxed",
+    "find_shared",
+    "free_gpu_fragmentation",
+    "GPUType",
+    "GPU_TYPES",
+    "K80",
+    "P100",
+    "V100",
+    "RTX3090",
+    "A100",
+    "allocation_speed",
+    "build_heterogeneous_cluster",
+    "find_consolidated_typed",
+    "find_tolerant_placement",
+    "node_speed",
+]

@@ -1,0 +1,164 @@
+"""Cluster and virtual-cluster (VC) models.
+
+Production DL clusters are partitioned into virtual clusters dedicated to
+different product groups (§2.1).  Jobs are scheduled within their VC;
+Lucid's Time-aware Scaling may temporarily *loan* nodes from idle VCs to
+the profiling cluster, which is modelled by the separate profiler capacity
+in :mod:`repro.core.profiler`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.gpu import GPU
+from repro.cluster.node import GPUS_PER_NODE, Node
+from repro.workloads.model_zoo import GPU_MEMORY_MB
+
+
+class VirtualCluster:
+    """A named partition of the cluster's nodes."""
+
+    def __init__(self, name: str, nodes: Sequence[Node]) -> None:
+        self.name = name
+        self.nodes: List[Node] = list(nodes)
+
+    @property
+    def n_gpus(self) -> int:
+        return sum(n.n_gpus for n in self.nodes)
+
+    @property
+    def n_free_gpus(self) -> int:
+        return sum(n.n_free_gpus for n in self.nodes)
+
+    @property
+    def gpus(self) -> List[GPU]:
+        return [g for node in self.nodes for g in node.gpus]
+
+    def utilization(self) -> float:
+        """Fraction of GPUs hosting at least one job."""
+        total = self.n_gpus
+        if total == 0:
+            return 0.0
+        return 1.0 - self.n_free_gpus / total
+
+    def __repr__(self) -> str:
+        return (f"VirtualCluster(name={self.name!r}, nodes={len(self.nodes)}, "
+                f"free={self.n_free_gpus}/{self.n_gpus})")
+
+
+class Cluster:
+    """A multi-VC GPU cluster.
+
+    Parameters
+    ----------
+    vc_nodes:
+        Mapping of VC name to number of nodes in that VC.
+    gpus_per_node:
+        GPU devices per server.
+    gpu_memory_mb:
+        Device memory per GPU.
+    """
+
+    def __init__(self, vc_nodes: Dict[str, int],
+                 gpus_per_node: int = GPUS_PER_NODE,
+                 gpu_memory_mb: float = GPU_MEMORY_MB) -> None:
+        if not vc_nodes:
+            raise ValueError("cluster needs at least one VC")
+        self.gpus_per_node = gpus_per_node
+        self.gpu_memory_mb = gpu_memory_mb
+        self.nodes: List[Node] = []
+        self.vcs: Dict[str, VirtualCluster] = {}
+        self._gpu_index: Dict[int, GPU] = {}
+        self._node_index: Dict[int, Node] = {}
+        node_id = 0
+        gpu_id = 0
+        for vc_name, count in vc_nodes.items():
+            if count <= 0:
+                raise ValueError(f"VC {vc_name!r} must have >= 1 node")
+            members: List[Node] = []
+            for _ in range(count):
+                node = Node(node_id, vc_name, gpus_per_node, gpu_id,
+                            gpu_memory_mb)
+                members.append(node)
+                self.nodes.append(node)
+                for gpu in node.gpus:
+                    self._gpu_index[gpu.gpu_id] = gpu
+                self._node_index[node.node_id] = node
+                node_id += 1
+                gpu_id += gpus_per_node
+            self.vcs[vc_name] = VirtualCluster(vc_name, members)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, n_nodes: int, vc_name: str = "default",
+                    gpus_per_node: int = GPUS_PER_NODE) -> "Cluster":
+        """Single-VC cluster of ``n_nodes`` identical servers."""
+        return cls({vc_name: n_nodes}, gpus_per_node=gpus_per_node)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_gpus(self) -> int:
+        return len(self._gpu_index)
+
+    @property
+    def n_free_gpus(self) -> int:
+        return sum(n.n_free_gpus for n in self.nodes)
+
+    @property
+    def gpus(self) -> List[GPU]:
+        return list(self._gpu_index.values())
+
+    def gpu(self, gpu_id: int) -> GPU:
+        """Look up a GPU by global id."""
+        return self._gpu_index[gpu_id]
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        return self._node_index[node_id]
+
+    def vc(self, name: str) -> VirtualCluster:
+        try:
+            return self.vcs[name]
+        except KeyError:
+            raise KeyError(f"unknown VC {name!r}; known: {sorted(self.vcs)}") from None
+
+    def nodes_of(self, vc: Optional[str]) -> List[Node]:
+        """Nodes of one VC, or all nodes when ``vc`` is ``None``."""
+        if vc is None:
+            return self.nodes
+        return self.vc(vc).nodes
+
+    def active_gpu_fraction(self) -> float:
+        """Fraction of GPUs with at least one resident job."""
+        if not self._gpu_index:
+            return 0.0
+        busy = sum(1 for g in self._gpu_index.values() if not g.is_free)
+        return busy / len(self._gpu_index)
+
+    def shared_gpu_fraction(self) -> float:
+        """Fraction of GPUs hosting two packed jobs."""
+        if not self._gpu_index:
+            return 0.0
+        shared = sum(1 for g in self._gpu_index.values() if g.is_shared)
+        return shared / len(self._gpu_index)
+
+    def memory_used_fraction(self) -> float:
+        """Cluster-wide GPU memory occupancy."""
+        total = sum(g.memory_mb for g in self._gpu_index.values())
+        used = sum(g.memory_used_mb for g in self._gpu_index.values())
+        return used / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"Cluster(vcs={len(self.vcs)}, nodes={len(self.nodes)}, "
+                f"gpus={self.n_gpus}, free={self.n_free_gpus})")
+
+
+def make_vc_names(count: int, prefix: str = "vc") -> List[str]:
+    """Generate readable VC names, e.g. ``vc01 .. vc15``."""
+    width = max(2, len(str(count)))
+    return [f"{prefix}{i + 1:0{width}d}" for i in range(count)]

@@ -1,0 +1,114 @@
+"""GPU device model.
+
+A GPU can host at most :data:`MAX_RESIDENTS` jobs simultaneously (the paper
+packs at most two jobs per GPU set — rule 3 of Indolent Packing) and tracks
+device-memory reservations so the simulator can enforce the hard
+out-of-memory limit (rule 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.model_zoo import GPU_MEMORY_MB
+
+#: Maximum number of jobs that may share one GPU.
+MAX_RESIDENTS = 2
+
+
+class GPU:
+    """One physical GPU device.
+
+    Parameters
+    ----------
+    gpu_id:
+        Globally unique device index.
+    node_id:
+        Index of the hosting node.
+    memory_mb:
+        Device memory capacity in MB.
+    """
+
+    __slots__ = ("gpu_id", "node_id", "memory_mb", "speed_factor",
+                 "_residents")
+
+    def __init__(self, gpu_id: int, node_id: int,
+                 memory_mb: float = GPU_MEMORY_MB,
+                 speed_factor: float = 1.0) -> None:
+        self.gpu_id = gpu_id
+        self.node_id = node_id
+        self.memory_mb = memory_mb
+        #: Relative throughput of this device's generation (1.0 = the
+        #: paper's RTX 3090 testbed); see repro.cluster.hetero.
+        self.speed_factor = speed_factor
+        self._residents: Dict[int, float] = {}  # job_id -> reserved MB
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def residents(self) -> List[int]:
+        """Job ids currently resident on this device."""
+        return list(self._residents)
+
+    @property
+    def n_residents(self) -> int:
+        return len(self._residents)
+
+    @property
+    def is_free(self) -> bool:
+        return not self._residents
+
+    @property
+    def is_shared(self) -> bool:
+        return len(self._residents) > 1
+
+    @property
+    def memory_used_mb(self) -> float:
+        return sum(self._residents.values())
+
+    @property
+    def memory_free_mb(self) -> float:
+        return self.memory_mb - self.memory_used_mb
+
+    def hosts(self, job_id: int) -> bool:
+        return job_id in self._residents
+
+    def can_host(self, memory_mb: float) -> bool:
+        """Whether another job with the given footprint may join."""
+        return (len(self._residents) < MAX_RESIDENTS
+                and memory_mb <= self.memory_free_mb)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def attach(self, job_id: int, memory_mb: float) -> None:
+        """Place a job on this device, reserving memory.
+
+        Raises
+        ------
+        RuntimeError
+            If the device is full, the job is already resident, or the
+            reservation would exceed device memory.
+        """
+        if job_id in self._residents:
+            raise RuntimeError(f"job {job_id} already on GPU {self.gpu_id}")
+        if len(self._residents) >= MAX_RESIDENTS:
+            raise RuntimeError(f"GPU {self.gpu_id} is full")
+        if memory_mb > self.memory_free_mb:
+            raise RuntimeError(
+                f"GPU {self.gpu_id}: OOM attaching job {job_id} "
+                f"({memory_mb:.0f} MB > {self.memory_free_mb:.0f} MB free)")
+        self._residents[job_id] = memory_mb
+
+    def detach(self, job_id: int) -> None:
+        """Remove a job from this device, releasing its memory."""
+        try:
+            del self._residents[job_id]
+        except KeyError:
+            raise RuntimeError(
+                f"job {job_id} is not resident on GPU {self.gpu_id}") from None
+
+    def __repr__(self) -> str:
+        return (f"GPU(id={self.gpu_id}, node={self.node_id}, "
+                f"residents={sorted(self._residents)})")

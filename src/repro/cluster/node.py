@@ -1,0 +1,74 @@
+"""Compute node model (8-GPU servers, mirroring the paper's testbed)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.gpu import GPU
+from repro.workloads.model_zoo import GPU_MEMORY_MB
+
+#: GPUs per server on the testbed and in the simulated clusters.
+GPUS_PER_NODE = 8
+#: CPU threads per server (dual-socket Xeon Gold 6326).
+CPUS_PER_NODE = 64
+
+
+class Node:
+    """One multi-GPU server.
+
+    Parameters
+    ----------
+    node_id:
+        Globally unique node index.
+    vc:
+        Name of the virtual cluster this node belongs to.
+    n_gpus:
+        Number of GPU devices installed.
+    first_gpu_id:
+        Global id of this node's first GPU (ids are contiguous per node).
+    """
+
+    __slots__ = ("node_id", "vc", "gpus", "cpus", "cpus_used", "gpu_type")
+
+    def __init__(self, node_id: int, vc: str, n_gpus: int = GPUS_PER_NODE,
+                 first_gpu_id: int = 0,
+                 gpu_memory_mb: float = GPU_MEMORY_MB) -> None:
+        self.node_id = node_id
+        self.vc = vc
+        self.gpus: List[GPU] = [
+            GPU(first_gpu_id + i, node_id, gpu_memory_mb) for i in range(n_gpus)
+        ]
+        self.cpus = CPUS_PER_NODE
+        self.cpus_used = 0
+        #: Optional GPU generation marker (repro.cluster.hetero).
+        self.gpu_type = None
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def free_gpus(self) -> List[GPU]:
+        """GPUs with no resident job."""
+        return [g for g in self.gpus if g.is_free]
+
+    @property
+    def n_free_gpus(self) -> int:
+        return sum(1 for g in self.gpus if g.is_free)
+
+    @property
+    def is_empty(self) -> bool:
+        return all(g.is_free for g in self.gpus)
+
+    @property
+    def busy_gpus(self) -> List[GPU]:
+        """GPUs hosting at least one job."""
+        return [g for g in self.gpus if not g.is_free]
+
+    def shareable_gpus(self, memory_mb: float) -> List[GPU]:
+        """Occupied GPUs that could additionally host the given footprint."""
+        return [g for g in self.gpus if not g.is_free and g.can_host(memory_mb)]
+
+    def __repr__(self) -> str:
+        return (f"Node(id={self.node_id}, vc={self.vc!r}, "
+                f"free={self.n_free_gpus}/{self.n_gpus})")

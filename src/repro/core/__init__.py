@@ -1,0 +1,45 @@
+"""Lucid core: the paper's primary contribution."""
+
+from repro.core.binder import AffineJobpairBinder, PackingMode
+from repro.core.estimator import WorkloadEstimateModel
+from repro.core.hetero_lucid import HeteroLucidScheduler
+from repro.core.slo_lucid import SLOLucidScheduler
+from repro.core.lucid import LucidConfig, LucidScheduler
+from repro.core.orchestrator import ResourceOrchestrator
+from repro.core.packing_model import (
+    CLASS_NAMES,
+    FEATURE_NAMES,
+    SS_JUMBO,
+    SS_MEDIUM,
+    SS_TINY,
+    PackingAnalyzeModel,
+    build_colocation_dataset,
+    label_for_speed,
+)
+from repro.core.profiler import NonIntrusiveProfiler
+from repro.core.throughput import ThroughputPredictModel
+from repro.core.tuner import SystemTuner
+from repro.core.update_engine import UpdateEngine
+
+__all__ = [
+    "AffineJobpairBinder",
+    "PackingMode",
+    "WorkloadEstimateModel",
+    "HeteroLucidScheduler",
+    "SLOLucidScheduler",
+    "LucidConfig",
+    "LucidScheduler",
+    "ResourceOrchestrator",
+    "PackingAnalyzeModel",
+    "build_colocation_dataset",
+    "label_for_speed",
+    "CLASS_NAMES",
+    "FEATURE_NAMES",
+    "SS_TINY",
+    "SS_MEDIUM",
+    "SS_JUMBO",
+    "NonIntrusiveProfiler",
+    "ThroughputPredictModel",
+    "SystemTuner",
+    "UpdateEngine",
+]

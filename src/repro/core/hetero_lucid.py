@@ -1,0 +1,64 @@
+"""Heterogeneity-aware Lucid (paper §6 future work).
+
+``HeteroLucidScheduler`` extends Lucid with GPU-generation-aware
+placement: the Workload Estimate Model's duration prediction decides
+whether a job is worth fast silicon.  Jobs with large estimated service
+(duration × GPUs) are placed on the fastest available generation; short
+debugging jobs are steered to older GPUs, which they leave quickly anyway
+— the throughput-matching intuition of Gavel, implemented without its
+LP-solver scalability cost (the placement ranking is O(nodes)).
+
+Use with a cluster built by
+:func:`repro.cluster.hetero.build_heterogeneous_cluster`; on a homogeneous
+cluster it degrades exactly to :class:`~repro.core.lucid.LucidScheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.hetero import find_tolerant_placement
+from repro.core.lucid import LucidConfig, LucidScheduler
+from repro.workloads.job import Job
+
+
+class HeteroLucidScheduler(LucidScheduler):
+    """Lucid with GPU-generation-aware exclusive placement.
+
+    Parameters
+    ----------
+    history, config, interference:
+        As for :class:`LucidScheduler`.
+    max_extra_fraction, max_extra_seconds:
+        Tolerance of the slowest-tolerable-tier policy: a job accepts a
+        slower generation while the extra runtime stays within
+        ``max(max_extra_fraction * estimate, max_extra_seconds)``.
+    """
+
+    name = "lucid-hetero"
+
+    def __init__(self, history: Sequence[Job],
+                 config: Optional[LucidConfig] = None,
+                 interference=None,
+                 max_extra_fraction: float = 1.0,
+                 max_extra_seconds: float = 1800.0) -> None:
+        super().__init__(history, config=config, interference=interference)
+        if max_extra_fraction < 0 or max_extra_seconds < 0:
+            raise ValueError("tolerances must be non-negative")
+        self.max_extra_fraction = max_extra_fraction
+        self.max_extra_seconds = max_extra_seconds
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        self.orchestrator.place_exclusive = self._typed_placement
+
+    # ------------------------------------------------------------------
+    def _typed_placement(self, engine, job: Job) -> Optional[List]:
+        estimate = (job.estimated_duration
+                    if job.estimated_duration is not None else 3600.0)
+        return find_tolerant_placement(
+            engine.cluster, job.gpu_num,
+            est_duration=max(60.0, estimate), vc=job.vc,
+            min_memory_mb=job.profile.gpu_mem_mb,
+            max_extra_fraction=self.max_extra_fraction,
+            max_extra_seconds=self.max_extra_seconds)

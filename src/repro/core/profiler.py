@@ -1,0 +1,156 @@
+"""Non-intrusive Job Profiler (§3.2, Algorithm 1).
+
+Every job within the scale limit ``N_prof`` first runs on a small,
+dedicated profiling cluster for at most ``T_prof`` seconds while hardware
+metrics (GPU utilization, memory utilization, memory footprint) are
+sampled NVIDIA-SMI style.  Two optimizations make this cheap:
+
+* **Space-aware Profiling** — the profiling queue is served least-GPU
+  first with consolidated placement, dissolving head-of-line blocking in
+  the small profiler (Figure 11b shows up to 11.6x queuing reduction over
+  naive FIFO profiling).
+* **Time-aware Scaling** — the profiler borrows nodes from idle VCs and
+  shrinks ``T_prof`` when a submission burst is forecast, returning them
+  when the burst drains.
+
+Jobs that finish within ``T_prof`` never touch the main cluster at all —
+this is the debugging-feedback fast path that filters 23-55% of jobs.
+Evicted jobs restart from scratch on the main cluster (no checkpointing —
+Lucid is non-intrusive), losing at most ``T_prof`` seconds of work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import GPUS_PER_NODE
+from repro.cluster.placement import _best_fit_single_node
+from repro.workloads.job import Job
+from repro.workloads.model_zoo import ResourceProfile
+
+DEFAULT_T_PROF = 200.0
+DEFAULT_N_PROF = 8
+#: NVIDIA-SMI sampling noise of the measured profile.
+MEASUREMENT_NOISE = 0.05
+
+
+class NonIntrusiveProfiler:
+    """Profiling-cluster manager.
+
+    Parameters
+    ----------
+    base_nodes:
+        Dedicated 8-GPU profiler nodes.
+    max_borrowed_nodes:
+        Additional nodes Time-aware Scaling may loan from idle VCs.
+    t_prof:
+        Profiling runtime limit in seconds.
+    n_prof:
+        Job-scale limit; larger jobs skip profiling and are measured on
+        the fly.
+    space_aware:
+        Least-GPU-first queue order (Algorithm 1); ``False`` reproduces
+        the naive FIFO profiling of prior work for the Figure-11b ablation.
+    """
+
+    def __init__(self, base_nodes: int = 2, max_borrowed_nodes: int = 2,
+                 t_prof: float = DEFAULT_T_PROF, n_prof: int = DEFAULT_N_PROF,
+                 space_aware: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if base_nodes < 1:
+            raise ValueError("profiler needs at least one node")
+        if n_prof > GPUS_PER_NODE:
+            raise ValueError("n_prof cannot exceed one node's GPUs")
+        self.base_t_prof = t_prof
+        self.t_prof = t_prof
+        self.n_prof = n_prof
+        self.space_aware = space_aware
+        self.base_nodes = base_nodes
+        self.max_nodes = base_nodes + max_borrowed_nodes
+        self.active_nodes = base_nodes
+        self.cluster = Cluster.homogeneous(self.max_nodes, vc_name="profiler")
+        self.queue: List[Job] = []
+        self._rng = rng or np.random.default_rng(0)
+        self.scaled_up = False
+
+    # ------------------------------------------------------------------
+    # Queue management (Algorithm 1)
+    # ------------------------------------------------------------------
+    def wants(self, job: Job) -> bool:
+        """Whether this job goes through the profiling stage."""
+        return job.gpu_num <= self.n_prof
+
+    def enqueue(self, job: Job) -> None:
+        self.queue.append(job)
+
+    def _ordered_queue(self) -> List[Job]:
+        if self.space_aware:
+            # Least GPU first; FIFO within equal demand.
+            return sorted(self.queue,
+                          key=lambda j: (j.gpu_num, j.submit_time, j.job_id))
+        return sorted(self.queue, key=lambda j: (j.submit_time, j.job_id))
+
+    def allocate(self, engine) -> List[Job]:
+        """Start as many queued profiling runs as fit; returns started jobs.
+
+        Consolidated allocation on the active profiler nodes; with
+        space-aware ordering the loop continues past unplaceable jobs
+        only when a smaller job could still fit (it cannot — the queue is
+        GPU-ascending, so the first failure ends the pass, exactly the
+        ``break`` in Algorithm 1).
+        """
+        started: List[Job] = []
+        nodes = self.cluster.nodes[: self.active_nodes]
+        for job in self._ordered_queue():
+            gpus = _best_fit_single_node(nodes, job.gpu_num)
+            if gpus is None:
+                # Space-aware: the queue is GPU-ascending, so nothing later
+                # fits either.  Naive: strict FIFO head-of-line blocking,
+                # as in prior profiling-based schedulers.
+                break
+            engine.start_job(job, gpus, time_limit=self.t_prof,
+                             profiling=True)
+            self.queue.remove(job)
+            started.append(job)
+        return started
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure(self, job: Job) -> ResourceProfile:
+        """NVIDIA-SMI style noisy measurement of the true profile."""
+        return job.profile.with_noise(self._rng, rel_std=MEASUREMENT_NOISE)
+
+    # ------------------------------------------------------------------
+    # Time-aware Scaling (§3.2)
+    # ------------------------------------------------------------------
+    @property
+    def capacity_gpus(self) -> int:
+        return self.active_nodes * self.cluster.gpus_per_node
+
+    def scale_up(self) -> None:
+        """Borrow idle nodes and shorten the profiling limit for a burst."""
+        self.active_nodes = self.max_nodes
+        self.t_prof = max(60.0, self.base_t_prof / 2.0)
+        self.scaled_up = True
+
+    def scale_down(self) -> None:
+        """Return borrowed nodes once the burst queue drains.
+
+        A borrowed node that still hosts a profiling run cannot be shed
+        yet, so the active window shrinks only down to the highest busy
+        node index (the next scale-down attempt finishes the job).
+        """
+        highest_busy = 0
+        for index, node in enumerate(self.cluster.nodes):
+            if not node.is_empty:
+                highest_busy = index + 1
+        self.active_nodes = max(self.base_nodes, highest_busy)
+        self.t_prof = self.base_t_prof
+        self.scaled_up = False
+
+    def pending_demand_gpus(self) -> int:
+        return sum(j.gpu_num for j in self.queue)

@@ -1,0 +1,73 @@
+"""System Tuner (§3.6.1): interpretability-guided configuration tuning.
+
+Because Lucid is data-driven and its models are transparent, operators can
+tune system knobs from prior trace data instead of by intuition.  The
+tuner recommends profiler settings from the historical duration
+distribution, sizes the profiling cluster from historical demand, and
+applies monotonic-shape constraints (via PAV) to learned models.  §4.6
+reports that guided profiler tuning cut profiling-stage queuing 2.8-8.7x
+versus heuristic settings, and the gpu_num monotonic constraint improved
+the estimator's R² by 2.6%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.estimator import WorkloadEstimateModel
+
+
+class SystemTuner:
+    """Guided-configuration recommendations from historical traces."""
+
+    @staticmethod
+    def recommend_t_prof(history_durations: Sequence[float],
+                         target_finish_rate: float = 0.45,
+                         bounds: Tuple[float, float] = (60.0, 600.0)) -> float:
+        """Pick ``T_prof`` so roughly ``target_finish_rate`` of historical
+        jobs would finish inside the profiling window.
+
+        Higher values complete more jobs during profiling but inflate
+        profiling-stage queuing (Table 6's trade-off).
+        """
+        durations = np.asarray(list(history_durations), dtype=float)
+        if durations.size == 0:
+            raise ValueError("history_durations must be non-empty")
+        if not 0.0 < target_finish_rate < 1.0:
+            raise ValueError("target_finish_rate must be in (0, 1)")
+        t_prof = float(np.quantile(durations, target_finish_rate))
+        return float(np.clip(t_prof, *bounds))
+
+    @staticmethod
+    def recommend_profiler_nodes(history_jobs, t_prof: float,
+                                 span_seconds: float, n_prof: int = 8,
+                                 gpus_per_node: int = 8,
+                                 headroom: float = 3.0) -> int:
+        """Size the profiling cluster from average historical demand.
+
+        Average concurrent profiling demand is the sum over profilable
+        jobs of ``min(duration, T_prof) * gpu_num`` spread over the trace
+        span; the headroom factor covers diurnal peaks.
+        """
+        if span_seconds <= 0:
+            raise ValueError("span_seconds must be positive")
+        demand = sum(min(j.duration, t_prof) * j.gpu_num
+                     for j in history_jobs if j.gpu_num <= n_prof)
+        avg_gpus = demand / span_seconds
+        return max(1, math.ceil(avg_gpus * headroom / gpus_per_node))
+
+    @staticmethod
+    def apply_monotonic_constraints(estimator: WorkloadEstimateModel) -> None:
+        """Pose the gpu_num-monotone constraint on the duration model."""
+        estimator.constrain_gpu_monotonic()
+
+    @staticmethod
+    def binder_threshold_grid(
+            medium_values: Sequence[float] = (0.75, 0.80, 0.85),
+            tiny_values: Sequence[float] = (0.90, 0.95, 0.97),
+    ) -> List[Tuple[float, float]]:
+        """The (medium, tiny) threshold grid of the §4.5 sensitivity scan."""
+        return [(m, t) for m in medium_values for t in tiny_values if m < t]

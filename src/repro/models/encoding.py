@@ -1,0 +1,193 @@
+"""Feature encoders and time-series feature engineering.
+
+Provides the categorical/temporal encodings the paper's models consume:
+label encoding for users and clustered job names, calendar decomposition of
+submission timestamps (§3.5.3), and the rolling/shift/soft-sum throughput
+features of §3.5.2 (``roll_mean_1h``, ``shift_1d``, ``soft_3h``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86_400.0
+
+
+class LabelEncoder:
+    """Map hashable categories to dense integer codes.
+
+    Unseen categories at transform time map to a dedicated ``unknown``
+    code, so models keep working as new users/templates appear (the drift
+    the Update Engine exists to absorb).
+    """
+
+    def __init__(self) -> None:
+        self._codes: Dict[object, int] = {}
+
+    def fit(self, values: Sequence) -> "LabelEncoder":
+        for value in values:
+            if value not in self._codes:
+                self._codes[value] = len(self._codes)
+        return self
+
+    @property
+    def unknown_code(self) -> int:
+        return len(self._codes)
+
+    def transform(self, values: Sequence) -> np.ndarray:
+        unknown = self.unknown_code
+        return np.array([self._codes.get(v, unknown) for v in values],
+                        dtype=float)
+
+    def fit_transform(self, values: Sequence) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+
+def time_features(timestamps: Sequence[float],
+                  epoch_day_of_week: int = 2) -> Dict[str, np.ndarray]:
+    """Decompose trace timestamps into calendar attributes.
+
+    Trace time is seconds since the trace epoch; ``epoch_day_of_week``
+    anchors weekday computation (default Wednesday, arbitrary but fixed).
+    Returns hour-of-day, day-of-week, day index ("dayofyear" analogue) and
+    a month index.
+    """
+    ts = np.asarray(timestamps, dtype=float)
+    days = np.floor(ts / SECONDS_PER_DAY)
+    return {
+        "hour": np.floor((ts % SECONDS_PER_DAY) / SECONDS_PER_HOUR),
+        "dayofweek": (days + epoch_day_of_week) % 7,
+        "day": days,
+        "month": np.floor(days / 30.0),
+    }
+
+
+def rolling_mean(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing mean over the previous ``window`` points (causal, excludes t)."""
+    return _rolling(values, window, np.mean)
+
+
+def rolling_median(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing median over the previous ``window`` points."""
+    return _rolling(values, window, np.median)
+
+
+def _rolling(values: np.ndarray, window: int, fn) -> np.ndarray:
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    values = np.asarray(values, dtype=float)
+    out = np.empty_like(values)
+    for i in range(len(values)):
+        lo = max(0, i - window)
+        out[i] = fn(values[lo:i]) if i > lo else (values[0] if i == 0 else values[i - 1])
+    return out
+
+
+def shift(values: np.ndarray, lag: int, fill: Optional[float] = None) -> np.ndarray:
+    """Lag a series by ``lag`` steps, back-filling the head."""
+    if lag < 0:
+        raise ValueError("lag must be >= 0")
+    values = np.asarray(values, dtype=float)
+    if lag == 0:
+        return values.copy()
+    head_value = values[0] if fill is None else fill
+    out = np.empty_like(values)
+    out[:lag] = head_value
+    out[lag:] = values[:-lag]
+    return out
+
+
+def soft_sum(values: np.ndarray, window: int, decay: float = 0.7) -> np.ndarray:
+    """Exponentially weighted trailing sum ("weighted soft summation", §3.5.2).
+
+    ``out[t] = sum_{k=1..window} decay^(k-1) * values[t-k]``; more recent
+    history weighs more.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not 0 < decay <= 1:
+        raise ValueError("decay must be in (0, 1]")
+    values = np.asarray(values, dtype=float)
+    out = np.zeros_like(values)
+    weights = decay ** np.arange(window)
+    for i in range(len(values)):
+        lo = max(0, i - window)
+        past = values[lo:i][::-1]  # most recent first
+        if past.size:
+            out[i] = float(np.dot(past, weights[:past.size]))
+        elif i == 0:
+            out[i] = values[0] * weights.sum()
+    return out
+
+
+def throughput_feature_table(series: np.ndarray,
+                             start_time: float = 0.0,
+                             step_seconds: float = SECONDS_PER_HOUR
+                             ) -> Tuple[np.ndarray, List[str]]:
+    """Build the Figure-7a feature matrix for an hourly throughput series.
+
+    Features mirror the paper's list: calendar encodings (``hour``, ``day``
+    ...), lags (``shift_1h``, ``shift_1d``), rolling statistics
+    (``roll_mean_1h``, ``roll_median_1h``) and weighted soft sums
+    (``soft_1h``, ``soft_3h``, ``soft_1d``, ``soft_1d_njob``).
+
+    Returns ``(X, feature_names)`` aligned with the input series, suitable
+    for one-step-ahead forecasting (every feature is causal).
+    """
+    series = np.asarray(series, dtype=float)
+    n = len(series)
+    times = start_time + np.arange(n) * step_seconds
+    cal = time_features(times)
+    steps_per_day = max(1, int(round(SECONDS_PER_DAY / step_seconds)))
+    # NOTE: absolute calendar indices ("day", "month") are deliberately
+    # excluded: a forecaster trained on one window and applied to the next
+    # would see them out of distribution and memorize per-day offsets.
+    # Periodic encodings (hour, dayofweek) carry the generalizable signal.
+    columns = {
+        "hour": cal["hour"],
+        "dayofweek": cal["dayofweek"],
+        "shift_1h": shift(series, 1),
+        "shift_1d": shift(series, steps_per_day),
+        "roll_mean_1h": rolling_mean(series, 1),
+        "roll_mean_3h": rolling_mean(series, 3),
+        "roll_median_1h": rolling_median(series, 1),
+        "roll_median_6h": rolling_median(series, 6),
+        "soft_1h": soft_sum(series, 1),
+        "soft_3h": soft_sum(series, 3),
+        "soft_1d": soft_sum(series, steps_per_day),
+    }
+    names = list(columns)
+    X = np.column_stack([columns[name] for name in names])
+    return X, names
+
+
+def hourly_series(event_times: Sequence[float],
+                  weights: Optional[Sequence[float]] = None,
+                  start_time: Optional[float] = None,
+                  end_time: Optional[float] = None
+                  ) -> Tuple[np.ndarray, float]:
+    """Aggregate event timestamps into an hourly count/weight series.
+
+    Returns ``(series, series_start_time)``.  ``weights`` turns the series
+    into e.g. GPU-demand throughput instead of job counts.
+    """
+    times = np.asarray(event_times, dtype=float)
+    if times.size == 0:
+        return np.zeros(1), 0.0
+    w = (np.ones_like(times) if weights is None
+         else np.asarray(weights, dtype=float))
+    if w.shape != times.shape:
+        raise ValueError("weights must align with event_times")
+    t0 = float(np.floor((start_time if start_time is not None else times.min())
+                        / SECONDS_PER_HOUR) * SECONDS_PER_HOUR)
+    t1 = float(end_time if end_time is not None else times.max())
+    n_bins = max(1, int(np.ceil((t1 - t0) / SECONDS_PER_HOUR)) + 1)
+    idx = np.clip(((times - t0) / SECONDS_PER_HOUR).astype(int), 0, n_bins - 1)
+    series = np.bincount(idx, weights=w, minlength=n_bins)
+    return series, t0

@@ -1,0 +1,113 @@
+"""Random forests (Breiman 2001) — black-box baseline for Table 7."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _BaseForest:
+    """Bagged ensemble of CART trees with feature subsampling."""
+
+    def __init__(self, n_estimators: int = 50,
+                 max_depth: Optional[int] = None,
+                 min_samples_leaf: int = 1,
+                 max_features: Optional[str] = "sqrt",
+                 random_state: int = 0) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.estimators_: List = []
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "third":
+            return max(1, n_features // 3)
+        if isinstance(self.max_features, int):
+            return min(self.max_features, n_features)
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def _make_tree(self, rng: np.random.Generator, n_features: int):
+        raise NotImplementedError
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        self.estimators_ = []
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = self._make_tree(rng, X.shape[1])
+            tree.fit(X[idx], y[idx])
+            self.estimators_.append(tree)
+        return self
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean per-tree impurity importance."""
+        if not self.estimators_:
+            raise RuntimeError("model is not fitted")
+        return np.mean([t.feature_importances() for t in self.estimators_],
+                       axis=0)
+
+
+class RandomForestRegressor(_BaseForest):
+    """Averaged bagged regression trees."""
+
+    def _make_tree(self, rng: np.random.Generator, n_features: int):
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._resolve_max_features(n_features),
+            random_state=rng,
+        )
+
+    def predict(self, X) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("model is not fitted")
+        preds = np.stack([t.predict(X) for t in self.estimators_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier(_BaseForest):
+    """Majority-vote bagged classification trees."""
+
+    def _make_tree(self, rng: np.random.Generator, n_features: int):
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._resolve_max_features(n_features),
+            random_state=rng,
+        )
+
+    def fit(self, X, y):
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        return super().fit(X, y)
+
+    def predict_proba(self, X) -> np.ndarray:
+        if not self.estimators_:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.estimators_:
+            probs = tree.predict_proba(X)
+            for local_idx, cls in enumerate(tree.classes_):
+                out[:, class_index[cls]] += probs[:, local_idx]
+        return out / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,78 @@
+"""Pool Adjacent Violators (PAV) isotonic regression.
+
+Used by Lucid's System Tuner (§3.6.1) to pose monotonic constraints on
+learned GA²M shape functions, following Ayer et al. (1955).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def isotonic_fit(y, weights=None, increasing: bool = True) -> np.ndarray:
+    """Weighted isotonic regression of a sequence.
+
+    Parameters
+    ----------
+    y:
+        Values to regress, in their natural (x-sorted) order.
+    weights:
+        Non-negative sample weights (default: uniform).
+    increasing:
+        Fit a non-decreasing sequence when ``True``, non-increasing
+        otherwise.
+
+    Returns
+    -------
+    The monotone sequence minimizing the weighted squared error.
+    """
+    values = np.asarray(y, dtype=float).ravel()
+    if values.size == 0:
+        return values.copy()
+    if weights is None:
+        w = np.ones_like(values)
+    else:
+        w = np.asarray(weights, dtype=float).ravel()
+        if w.shape != values.shape:
+            raise ValueError("weights must match y in length")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+    if not increasing:
+        return -isotonic_fit(-values, weights=w, increasing=True)
+
+    # Pool adjacent violators with a block stack.
+    means = []   # block means
+    wsums = []   # block weights
+    sizes = []   # block lengths
+    for value, weight in zip(values, w):
+        means.append(value)
+        wsums.append(weight)
+        sizes.append(1)
+        # Merge while the monotonicity constraint is violated.
+        while len(means) > 1 and means[-2] > means[-1]:
+            m2, w2, s2 = means.pop(), wsums.pop(), sizes.pop()
+            m1, w1, s1 = means.pop(), wsums.pop(), sizes.pop()
+            total_w = w1 + w2
+            merged = (m1 * w1 + m2 * w2) / total_w if total_w > 0 else (m1 + m2) / 2
+            means.append(merged)
+            wsums.append(total_w)
+            sizes.append(s1 + s2)
+    out = np.empty_like(values)
+    pos = 0
+    for mean, size in zip(means, sizes):
+        out[pos:pos + size] = mean
+        pos += size
+    return out
+
+
+def is_monotonic(y, increasing: bool = True, atol: float = 1e-12) -> bool:
+    """Check whether a sequence is monotone in the given direction."""
+    values = np.asarray(y, dtype=float).ravel()
+    if values.size <= 1:
+        return True
+    diffs = np.diff(values)
+    if increasing:
+        return bool(np.all(diffs >= -atol))
+    return bool(np.all(diffs <= atol))

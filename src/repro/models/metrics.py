@@ -1,0 +1,67 @@
+"""Evaluation metrics for the model substrate (Table 7 reports MAE and R²)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_1d(a) -> np.ndarray:
+    arr = np.asarray(a, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("metric input must be non-empty")
+    return arr
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error (lower is better)."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    return float(np.mean(np.abs(yt - yp)))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    return float(np.sqrt(np.mean((yt - yp) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (higher is better).
+
+    Matches the standard definition: ``1 - SS_res / SS_tot``; a constant
+    predictor scores 0, worse-than-constant predictors score negative.
+    """
+    yt, yp = _as_1d(y_true), _as_1d(y_pred)
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    ss_res = float(np.sum((yt - yp) ** 2))
+    ss_tot = float(np.sum((yt - yt.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Classification accuracy."""
+    yt = np.asarray(y_true).ravel()
+    yp = np.asarray(y_pred).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    if yt.size == 0:
+        raise ValueError("metric input must be non-empty")
+    return float(np.mean(yt == yp))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int = None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class i predicted as j."""
+    yt = np.asarray(y_true, dtype=int).ravel()
+    yp = np.asarray(y_pred, dtype=int).ravel()
+    if yt.shape != yp.shape:
+        raise ValueError(f"shape mismatch: {yt.shape} vs {yp.shape}")
+    k = n_classes if n_classes is not None else int(max(yt.max(), yp.max())) + 1
+    out = np.zeros((k, k), dtype=int)
+    np.add.at(out, (yt, yp), 1)
+    return out

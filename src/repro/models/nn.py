@@ -1,0 +1,107 @@
+"""A small numpy MLP regressor — the "DNN" black-box baseline of Table 7."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class MLPRegressor:
+    """Fully connected ReLU network trained with Adam on squared error.
+
+    Inputs and targets are standardized internally, so the model can be
+    used directly on raw scheduler features.
+    """
+
+    def __init__(self, hidden: Sequence[int] = (64, 32), epochs: int = 100,
+                 batch_size: int = 128, learning_rate: float = 3e-3,
+                 l2: float = 1e-5, random_state: int = 0) -> None:
+        if not hidden:
+            raise ValueError("need at least one hidden layer")
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.random_state = random_state
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        self._x_mean = self._x_std = None
+        self._y_mean = self._y_std = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        rng = np.random.default_rng(self.random_state)
+        self._x_mean = X.mean(axis=0)
+        self._x_std = X.std(axis=0) + 1e-9
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) + 1e-9
+        Xn = (X - self._x_mean) / self._x_std
+        yn = (y - self._y_mean) / self._y_std
+
+        sizes = [X.shape[1], *self.hidden, 1]
+        self._weights = [
+            rng.normal(0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+        m = [np.zeros_like(w) for w in self._weights]
+        v = [np.zeros_like(w) for w in self._weights]
+        mb = [np.zeros_like(b) for b in self._biases]
+        vb = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        n = X.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                grads_w, grads_b = self._gradients(Xn[idx], yn[idx])
+                step += 1
+                lr = self.learning_rate * (
+                    np.sqrt(1 - beta2 ** step) / (1 - beta1 ** step))
+                for i in range(len(self._weights)):
+                    grads_w[i] += self.l2 * self._weights[i]
+                    m[i] = beta1 * m[i] + (1 - beta1) * grads_w[i]
+                    v[i] = beta2 * v[i] + (1 - beta2) * grads_w[i] ** 2
+                    self._weights[i] -= lr * m[i] / (np.sqrt(v[i]) + eps)
+                    mb[i] = beta1 * mb[i] + (1 - beta1) * grads_b[i]
+                    vb[i] = beta2 * vb[i] + (1 - beta2) * grads_b[i] ** 2
+                    self._biases[i] -= lr * mb[i] / (np.sqrt(vb[i]) + eps)
+        return self
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [X]
+        h = X
+        for i, (w, b) in enumerate(zip(self._weights, self._biases)):
+            z = h @ w + b
+            h = z if i == len(self._weights) - 1 else np.maximum(z, 0.0)
+            activations.append(h)
+        return h.ravel(), activations
+
+    def _gradients(self, X: np.ndarray, y: np.ndarray):
+        pred, acts = self._forward(X)
+        n = X.shape[0]
+        delta = ((pred - y) / n)[:, None]  # d(MSE/2)/d output
+        grads_w: List[np.ndarray] = [None] * len(self._weights)
+        grads_b: List[np.ndarray] = [None] * len(self._biases)
+        for i in range(len(self._weights) - 1, -1, -1):
+            grads_w[i] = acts[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self._weights[i].T) * (acts[i] > 0)
+        return grads_w, grads_b
+
+    def predict(self, X) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Xn = (X - self._x_mean) / self._x_std
+        pred, _ = self._forward(Xn)
+        return pred * self._y_std + self._y_mean

@@ -1,0 +1,27 @@
+"""Baseline schedulers evaluated against Lucid."""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.horus import HorusScheduler
+from repro.schedulers.pollux import (
+    PolluxSimulator,
+    elastic_speedup,
+    validation_accuracy,
+)
+from repro.schedulers.qssf import HistoryDurationModel, QSSFScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.tiresias import PREEMPTION_OVERHEAD, TiresiasScheduler
+
+__all__ = [
+    "Scheduler",
+    "FIFOScheduler",
+    "SJFScheduler",
+    "QSSFScheduler",
+    "HistoryDurationModel",
+    "TiresiasScheduler",
+    "PREEMPTION_OVERHEAD",
+    "HorusScheduler",
+    "PolluxSimulator",
+    "elastic_speedup",
+    "validation_accuracy",
+]

@@ -1,0 +1,72 @@
+"""Scheduler base class and shared allocation helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.placement import find_consolidated
+from repro.workloads.job import Job, JobStatus
+
+
+class Scheduler:
+    """Base class for all schedulers driven by the simulation engine.
+
+    Subclasses implement :meth:`schedule` (and optionally the event
+    callbacks).  The base maintains the pending queue: submitted jobs are
+    appended and placed jobs must be removed by the subclass (the helpers
+    here do it for you).
+    """
+
+    #: Human-readable name used by benchmark tables.
+    name = "base"
+    #: Seconds between periodic wake-ups, or None for event-driven only.
+    tick_interval: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.engine = None
+        self.queue: List[Job] = []
+
+    # ------------------------------------------------------------------
+    # Engine lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Bind to the engine; subclasses may train models here."""
+        self.engine = engine
+        self.queue = []
+
+    def on_job_submit(self, job: Job, now: float) -> None:
+        self.queue.append(job)
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        pass
+
+    def on_time_limit(self, job: Job, now: float) -> None:
+        pass
+
+    def schedule(self, now: float) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def try_place_exclusive(self, job: Job, overhead: float = 0.0) -> bool:
+        """Consolidated exclusive placement inside the job's VC."""
+        gpus = find_consolidated(self.engine.cluster, job.gpu_num, vc=job.vc)
+        if gpus is None:
+            return False
+        self.engine.start_job(job, gpus, overhead=overhead)
+        return True
+
+    def place_in_order(self, ordered: List[Job], strict: bool = False) -> None:
+        """Try to start queued jobs in the given order.
+
+        ``strict=True`` stops at the first job that does not fit (FIFO
+        head-of-line semantics); otherwise unplaceable jobs are skipped,
+        which is the greedy loop of the paper's Algorithm 2.
+        """
+        for job in ordered:
+            placed = self.try_place_exclusive(job)
+            if placed:
+                self.queue.remove(job)
+            elif strict:
+                break

@@ -1,0 +1,28 @@
+"""First-In-First-Out scheduler (Yarn/Kubernetes default queue policy)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.schedulers.base import Scheduler
+from repro.workloads.job import Job
+
+
+class FIFOScheduler(Scheduler):
+    """Strict per-VC FIFO with head-of-line blocking.
+
+    Each virtual cluster runs its own FIFO queue (VCs are independent
+    resource partitions); within a VC, a job that does not fit blocks all
+    jobs behind it.  This runtime-agnostic paradigm is what makes FIFO's
+    average JCT 5-8x worse than Lucid's in Table 4.
+    """
+
+    name = "fifo"
+
+    def schedule(self, now: float) -> None:
+        by_vc: Dict[str, List[Job]] = {}
+        for job in self.queue:
+            by_vc.setdefault(job.vc, []).append(job)
+        for vc_jobs in by_vc.values():
+            vc_jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+            self.place_in_order(vc_jobs, strict=True)

@@ -1,0 +1,22 @@
+"""Shortest-Job-First oracle scheduler.
+
+SJF is the paper's idealized non-preemptive baseline: it sorts the queue
+by the *ground-truth* remaining duration, which no deployable system can
+know.  It upper-bounds what duration-ordering alone can achieve and is the
+reference point that QSSF and Lucid's estimator approximate.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler
+
+
+class SJFScheduler(Scheduler):
+    """Non-preemptive shortest-job-first with perfect duration knowledge."""
+
+    name = "sjf"
+
+    def schedule(self, now: float) -> None:
+        ordered = sorted(self.queue,
+                         key=lambda j: (j.remaining, j.submit_time, j.job_id))
+        self.place_in_order(ordered)

@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.engine import RunState, Simulator
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.metrics import (
+    LARGE_JOB_GPUS,
+    ScaleStats,
+    SimulationResult,
+    UtilizationSummary,
+    UtilizationTracker,
+    speedup,
+)
+
+__all__ = [
+    "RunState",
+    "Simulator",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LARGE_JOB_GPUS",
+    "ScaleStats",
+    "SimulationResult",
+    "UtilizationSummary",
+    "UtilizationTracker",
+    "speedup",
+]

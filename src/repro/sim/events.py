@@ -1,0 +1,63 @@
+"""Event primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """Kinds of simulator events."""
+
+    SUBMIT = "submit"          # a job arrives
+    FINISH = "finish"          # a running job completes its work
+    TIME_LIMIT = "time_limit"  # a bounded run (profiling) hits its limit
+    TICK = "tick"              # periodic scheduler wake-up
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled event.
+
+    Events are totally ordered by ``(time, seq)``; ``seq`` is a monotonically
+    increasing tie-breaker so simultaneous events dispatch in creation order
+    and comparison never falls through to unorderable payloads.
+    """
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    job_id: Optional[int] = field(default=None, compare=False)
+    epoch: int = field(default=0, compare=False)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: EventKind, job_id: Optional[int] = None,
+             epoch: int = 0) -> Event:
+        """Schedule an event and return it."""
+        event = Event(time=time, seq=next(self._counter), kind=kind,
+                      job_id=job_id, epoch=epoch)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,56 @@
+"""Trace substrate: Table-2 specs and synthetic production traces."""
+
+from repro.traces.generator import JobTemplate, TraceGenerator, generate_trace
+from repro.traces.spec import (
+    PHILLY,
+    PHILLY_FULL,
+    SATURN,
+    SATURN_FULL,
+    TRACES,
+    UTIL_HIGH,
+    UTIL_LOW,
+    UTIL_MEDIUM,
+    VENUS,
+    VENUS_FULL,
+    TraceSpec,
+    get_spec,
+)
+from repro.traces.io import (
+    read_trace_csv,
+    split_history,
+    write_native_csv,
+)
+from repro.traces.slo import assign_deadlines, slo_report
+from repro.traces.utilization import (
+    job_utilization_samples,
+    mean_utilization,
+    utilization_cdf,
+    utilization_variants,
+)
+
+__all__ = [
+    "JobTemplate",
+    "TraceGenerator",
+    "generate_trace",
+    "PHILLY",
+    "SATURN",
+    "VENUS",
+    "TRACES",
+    "TraceSpec",
+    "get_spec",
+    "UTIL_HIGH",
+    "UTIL_LOW",
+    "UTIL_MEDIUM",
+    "job_utilization_samples",
+    "mean_utilization",
+    "utilization_cdf",
+    "utilization_variants",
+    "VENUS_FULL",
+    "SATURN_FULL",
+    "PHILLY_FULL",
+    "read_trace_csv",
+    "split_history",
+    "write_native_csv",
+    "assign_deadlines",
+    "slo_report",
+]

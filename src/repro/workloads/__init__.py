@@ -1,0 +1,42 @@
+"""Workload substrate: jobs, the Table-1 model zoo and colocation model."""
+
+from repro.workloads.colocation import (
+    ColocationMeasurement,
+    InterferenceModel,
+    PairSpeeds,
+    average_colocation_speed,
+    fitted_curve,
+    measure_all_pairs,
+)
+from repro.workloads.job import Job, JobRecord, JobStatus, JobView
+from repro.workloads.model_zoo import (
+    GPU_MEMORY_MB,
+    MODEL_ZOO,
+    ModelSpec,
+    ResourceProfile,
+    WorkloadConfig,
+    all_configurations,
+    get_model,
+    get_profile,
+)
+
+__all__ = [
+    "ColocationMeasurement",
+    "InterferenceModel",
+    "PairSpeeds",
+    "average_colocation_speed",
+    "fitted_curve",
+    "measure_all_pairs",
+    "Job",
+    "JobRecord",
+    "JobStatus",
+    "JobView",
+    "GPU_MEMORY_MB",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "ResourceProfile",
+    "WorkloadConfig",
+    "all_configurations",
+    "get_model",
+    "get_profile",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.traces import TraceGenerator, TraceSpec
+from repro.workloads import InterferenceModel, Job, ResourceProfile
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_spec():
+    """A small, fast trace spec used across integration tests."""
+    return TraceSpec(
+        name="tiny", n_nodes=6, n_vcs=2, n_jobs=120, full_n_jobs=120,
+        mean_duration=1800.0, span_days=0.5, n_users=12, seed=99,
+    )
+
+
+@pytest.fixture
+def tiny_generator(tiny_spec):
+    return TraceGenerator(tiny_spec)
+
+
+@pytest.fixture
+def small_cluster():
+    return Cluster({"vc1": 2, "vc2": 1})
+
+
+@pytest.fixture
+def interference():
+    return InterferenceModel()
+
+
+def make_job(job_id=1, duration=1000.0, gpu_num=1, submit_time=0.0,
+             vc="vc1", user="alice", name="job", gpu_util=40.0,
+             mem_util=25.0, mem_mb=3000.0, amp=False) -> Job:
+    """Hand-rolled job for unit tests."""
+    return Job(
+        job_id=job_id, name=name, user=user, vc=vc,
+        submit_time=submit_time, duration=duration, gpu_num=gpu_num,
+        profile=ResourceProfile(gpu_util, mem_util, mem_mb, amp), amp=amp,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    return make_job

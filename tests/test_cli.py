@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import TraceGenerator, VENUS
+from repro.traces.io import write_native_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheduler == "lucid"
+        assert args.trace == "venus"
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheduler", "magic"])
+
+
+class TestSimulate:
+    def test_simulate_runs(self, capsys):
+        code = main(["simulate", "--trace", "venus", "--jobs", "80",
+                     "--scheduler", "fifo", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg JCT" in out
+        assert "fifo" in out
+
+    def test_export(self, tmp_path, capsys):
+        target = tmp_path / "records.csv"
+        code = main(["simulate", "--trace", "venus", "--jobs", "60",
+                     "--scheduler", "sjf", "--export", str(target)])
+        assert code == 0
+        with open(target) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 60
+        assert {"job_id", "jct", "queue_delay"} <= set(rows[0])
+
+    def test_csv_trace_input(self, tmp_path, capsys):
+        jobs = TraceGenerator(VENUS.with_jobs(120)).generate()
+        path = tmp_path / "trace.csv"
+        write_native_csv(jobs, path)
+        code = main(["simulate", "--trace", str(path),
+                     "--scheduler", "fifo"])
+        assert code == 0
+        assert "avg JCT" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_two(self, capsys):
+        code = main(["compare", "--trace", "venus", "--jobs", "80",
+                     "--schedulers", "fifo,sjf"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "sjf" in out
+
+    def test_unknown_scheduler_fails(self, capsys):
+        code = main(["compare", "--trace", "venus", "--jobs", "10",
+                     "--schedulers", "fifo,notreal"])
+        assert code == 2
+
+
+class TestModelsAndPacking:
+    def test_models_command(self, capsys):
+        code = main(["models", "--trace", "venus", "--jobs", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Packing Analyze Model" in out
+        assert "Gini importance" in out
+        assert "local explanation" in out
+
+    def test_packing_command(self, capsys):
+        code = main(["packing"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Indolent Packing decisions" in out
+        assert "interference-free rate" in out

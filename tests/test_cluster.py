@@ -1,0 +1,139 @@
+"""Tests for GPU / Node / VirtualCluster / Cluster."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    GPU,
+    GPUS_PER_NODE,
+    MAX_RESIDENTS,
+    Node,
+    make_vc_names,
+)
+
+
+class TestGPU:
+    def test_initial_state(self):
+        gpu = GPU(0, 0)
+        assert gpu.is_free
+        assert not gpu.is_shared
+        assert gpu.residents == []
+        assert gpu.memory_free_mb == gpu.memory_mb
+
+    def test_attach_detach(self):
+        gpu = GPU(0, 0)
+        gpu.attach(1, 1000)
+        assert gpu.hosts(1)
+        assert not gpu.is_free
+        assert gpu.memory_used_mb == 1000
+        gpu.detach(1)
+        assert gpu.is_free
+
+    def test_two_residents_max(self):
+        gpu = GPU(0, 0)
+        gpu.attach(1, 100)
+        gpu.attach(2, 100)
+        assert gpu.is_shared
+        assert gpu.n_residents == MAX_RESIDENTS
+        with pytest.raises(RuntimeError, match="full"):
+            gpu.attach(3, 100)
+
+    def test_oom_rejected(self):
+        gpu = GPU(0, 0, memory_mb=1000)
+        gpu.attach(1, 800)
+        with pytest.raises(RuntimeError, match="OOM"):
+            gpu.attach(2, 300)
+
+    def test_double_attach_rejected(self):
+        gpu = GPU(0, 0)
+        gpu.attach(1, 100)
+        with pytest.raises(RuntimeError, match="already"):
+            gpu.attach(1, 100)
+
+    def test_detach_missing_rejected(self):
+        gpu = GPU(0, 0)
+        with pytest.raises(RuntimeError, match="not resident"):
+            gpu.detach(42)
+
+    def test_can_host(self):
+        gpu = GPU(0, 0, memory_mb=1000)
+        assert gpu.can_host(500)
+        gpu.attach(1, 700)
+        assert gpu.can_host(300)
+        assert not gpu.can_host(400)
+
+
+class TestNode:
+    def test_default_shape(self):
+        node = Node(0, "vc1")
+        assert node.n_gpus == GPUS_PER_NODE
+        assert node.is_empty
+        assert node.n_free_gpus == GPUS_PER_NODE
+
+    def test_gpu_ids_contiguous(self):
+        node = Node(3, "vc1", first_gpu_id=24)
+        assert [g.gpu_id for g in node.gpus] == list(range(24, 32))
+
+    def test_free_and_busy_split(self):
+        node = Node(0, "vc1")
+        node.gpus[0].attach(1, 100)
+        node.gpus[1].attach(1, 100)
+        assert node.n_free_gpus == 6
+        assert len(node.busy_gpus) == 2
+        assert not node.is_empty
+
+    def test_shareable_gpus(self):
+        node = Node(0, "vc1")
+        node.gpus[0].attach(1, 100)
+        shareable = node.shareable_gpus(memory_mb=500)
+        assert shareable == [node.gpus[0]]
+
+
+class TestCluster:
+    def test_construction(self):
+        cluster = Cluster({"a": 2, "b": 3})
+        assert cluster.n_gpus == 40
+        assert len(cluster.nodes) == 5
+        assert cluster.vc("a").n_gpus == 16
+        assert cluster.vc("b").n_gpus == 24
+
+    def test_gpu_lookup(self):
+        cluster = Cluster({"a": 2})
+        for gpu_id in range(cluster.n_gpus):
+            assert cluster.gpu(gpu_id).gpu_id == gpu_id
+
+    def test_unknown_vc_raises(self):
+        cluster = Cluster({"a": 1})
+        with pytest.raises(KeyError, match="unknown VC"):
+            cluster.vc("zzz")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster({})
+        with pytest.raises(ValueError):
+            Cluster({"a": 0})
+
+    def test_homogeneous(self):
+        cluster = Cluster.homogeneous(4)
+        assert cluster.n_gpus == 32
+        assert list(cluster.vcs) == ["default"]
+
+    def test_occupancy_fractions(self):
+        cluster = Cluster.homogeneous(1)
+        assert cluster.active_gpu_fraction() == 0.0
+        cluster.gpu(0).attach(1, 100)
+        assert cluster.active_gpu_fraction() == pytest.approx(1 / 8)
+        cluster.gpu(0).attach(2, 100)
+        assert cluster.shared_gpu_fraction() == pytest.approx(1 / 8)
+        assert cluster.memory_used_fraction() > 0
+
+    def test_nodes_of(self):
+        cluster = Cluster({"a": 2, "b": 1})
+        assert len(cluster.nodes_of("a")) == 2
+        assert len(cluster.nodes_of(None)) == 3
+
+
+def test_make_vc_names():
+    names = make_vc_names(3)
+    assert names == ["vc01", "vc02", "vc03"]
+    assert len(make_vc_names(120)) == 120

@@ -1,0 +1,134 @@
+"""Tests for the colocation interference model (Figures 2, 3, 5 basis)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.colocation import (
+    InterferenceModel,
+    average_colocation_speed,
+    fitted_curve,
+    measure_all_pairs,
+)
+from repro.workloads.model_zoo import (
+    ResourceProfile,
+    WorkloadConfig,
+    get_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InterferenceModel()
+
+
+def profile(util, mem_util=20.0, mem=2000.0, amp=False):
+    return ResourceProfile(util, mem_util, mem, amp)
+
+
+class TestFittedCurve:
+    def test_no_interference_below_knee(self):
+        assert fitted_curve(0) == 1.0
+        assert fitted_curve(60) == 1.0
+
+    def test_paper_anchor_at_100(self):
+        """At 100% accumulated utilization the average speed is ~0.92."""
+        assert fitted_curve(100) == pytest.approx(0.92, abs=0.02)
+
+    def test_paper_anchor_at_200(self):
+        assert fitted_curve(200) == pytest.approx(0.60, abs=0.03)
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(0, 200, 100)
+        ys = [fitted_curve(x) for x in xs]
+        assert all(a >= b for a, b in zip(ys, ys[1:]))
+
+
+class TestPairSpeeds:
+    def test_light_pair_no_degradation(self, model):
+        speeds = model.pair_speeds(profile(15), profile(10))
+        assert speeds.first > 0.92
+        assert speeds.second > 0.92
+
+    def test_heavy_pair_degrades(self, model):
+        speeds = model.pair_speeds(profile(90, 60), profile(85, 55))
+        assert speeds.average < 0.75
+
+    def test_lighter_job_suffers_more(self, model):
+        """Figure 3a: ResNet-18 (light) loses more than DCGAN (heavy)."""
+        light = profile(45, 25)
+        heavy = profile(85, 60)
+        speeds = model.pair_speeds(light, heavy)
+        assert speeds.first <= speeds.second
+
+    def test_deterministic_per_pair(self, model):
+        a, b = profile(50), profile(60)
+        s1 = model.pair_speeds(a, b, pair_key=("x", "y"))
+        s2 = model.pair_speeds(a, b, pair_key=("x", "y"))
+        assert s1 == s2
+
+    def test_pair_key_order_invariant_noise(self, model):
+        a, b = profile(50), profile(50)
+        s1 = model.pair_speeds(a, b, pair_key=("x", "y"))
+        s2 = model.pair_speeds(a, b, pair_key=("y", "x"))
+        assert s1.average == pytest.approx(s2.average)
+
+    def test_speeds_bounded(self, model):
+        for ua in (5, 40, 95):
+            for ub in (5, 40, 95):
+                s = model.pair_speeds(profile(ua, ua / 2), profile(ub, ub / 2))
+                assert 0.2 <= s.first <= 1.0
+                assert 0.2 <= s.second <= 1.0
+
+    def test_amp_relieves_interference(self, model):
+        fp32 = model.pair_speeds(profile(70, 40), profile(70, 40))
+        amp = model.pair_speeds(profile(70, 40, amp=True),
+                                profile(70, 40, amp=True))
+        assert amp.average >= fp32.average
+
+
+class TestKWayPacking:
+    def test_three_way_worse_than_two_way(self, model):
+        """Packing over two jobs suffers acute degradation (§2.3)."""
+        p = profile(35, 20)
+        two = model.k_way_speed([p, p])
+        three = model.k_way_speed([p, p, p])
+        assert three < two
+
+    def test_single_job_full_speed(self, model):
+        assert model.k_way_speed([profile(90)]) == 1.0
+
+
+class TestMemoryFeasibility:
+    def test_oom_detected(self, model):
+        a = profile(50, mem=15_000)
+        b = profile(50, mem=14_000)
+        assert not model.memory_fits((a, b))
+
+    def test_fitting_pair(self, model):
+        assert model.memory_fits((profile(50, mem=8_000),
+                                  profile(50, mem=8_000)))
+
+
+class TestCharacterization:
+    def test_measure_all_pairs_covers_feasible_space(self, model):
+        measurements = measure_all_pairs(model)
+        assert len(measurements) > 1000  # dense Table-1 pair coverage
+
+    def test_figure2a_shape(self, model):
+        """Low-accumulated-util pairs retain >= 0.8x speed on average."""
+        measurements = measure_all_pairs(model)
+        utils = np.array([m.accumulated_util for m in measurements])
+        speeds = np.array([m.average_speed for m in measurements])
+        low = speeds[utils <= 100]
+        high = speeds[utils >= 160]
+        assert low.mean() > 0.9
+        assert high.mean() < low.mean()
+
+    def test_average_speed_rankings(self, model):
+        """PointNet packs near-free; ResNet-50 at large batch does not."""
+        pointnet = average_colocation_speed(
+            model, WorkloadConfig("PointNet", 64, False))
+        resnet50 = average_colocation_speed(
+            model, WorkloadConfig("ResNet-50", 128, False))
+        assert pointnet > 0.93
+        assert resnet50 < pointnet

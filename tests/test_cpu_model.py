@@ -1,0 +1,153 @@
+"""Tests for the affiliated-resource (CPU) extension (paper §6)."""
+
+import pytest
+
+from repro.cluster import Cluster, find_consolidated
+from repro.core.binder import AffineJobpairBinder
+from repro.schedulers.base import Scheduler
+from repro.sim import Simulator
+from repro.traces import TraceGenerator, TraceSpec
+
+from conftest import make_job
+
+
+class Greedy(Scheduler):
+    def schedule(self, now):
+        for job in sorted(self.queue, key=lambda j: j.submit_time):
+            if self.try_place_exclusive(job):
+                self.queue.remove(job)
+
+
+class PackPair(Scheduler):
+    def schedule(self, now):
+        for job in list(self.queue):
+            running = self.engine.running_jobs()
+            if running and running[0].gpu_num == job.gpu_num:
+                self.engine.start_job(job, self.engine.gpus_of(running[0]))
+            elif not self.try_place_exclusive(job):
+                continue
+            self.queue.remove(job)
+
+
+def cpu_job(job_id, cpu_per_gpu, sensitivity=1.0, gpu_num=8,
+            duration=1000.0, gpu_util=5.0):
+    job = make_job(job_id, duration=duration, gpu_num=gpu_num,
+                   gpu_util=gpu_util, mem_util=3.0)
+    job.cpu_per_gpu = cpu_per_gpu
+    job.cpu_sensitivity = sensitivity
+    return job
+
+
+class TestCPUModel:
+    def test_disabled_by_default(self):
+        # Two CPU-monsters packed together: without the CPU model their
+        # speed is interference-only.
+        jobs = [cpu_job(1, cpu_per_gpu=32.0), cpu_job(2, cpu_per_gpu=32.0)]
+        cluster = Cluster.homogeneous(1, vc_name="vc1")
+        result = Simulator(cluster, jobs, PackPair()).run()
+        for record in result.records:
+            assert record.jct < 1100.0  # barely slowed (light profiles)
+
+    def test_cpu_squeeze_slows_packed_jobs(self):
+        jobs = [cpu_job(1, cpu_per_gpu=8.0), cpu_job(2, cpu_per_gpu=8.0)]
+        cluster = Cluster.homogeneous(1, vc_name="vc1")
+        result = Simulator(cluster, jobs, PackPair(), model_cpu=True).run()
+        # Demand 2 jobs x 8 GPUs x 8 CPUs = 128 > 64 CPUs: share = 0.5,
+        # sensitivity 1.0 -> ~half speed (plus slight GPU interference).
+        for record in result.records:
+            assert record.jct > 1800.0
+
+    def test_sufficient_cpus_no_slowdown(self):
+        jobs = [cpu_job(1, cpu_per_gpu=4.0), cpu_job(2, cpu_per_gpu=4.0)]
+        cluster = Cluster.homogeneous(1, vc_name="vc1")
+        result = Simulator(cluster, jobs, PackPair(), model_cpu=True).run()
+        # 2 x 8 x 4 = 64 = node CPUs: no squeeze.
+        for record in result.records:
+            assert record.jct < 1100.0
+
+    def test_insensitive_job_barely_notices(self):
+        jobs = [cpu_job(1, cpu_per_gpu=8.0, sensitivity=0.05),
+                cpu_job(2, cpu_per_gpu=8.0, sensitivity=0.05)]
+        cluster = Cluster.homogeneous(1, vc_name="vc1")
+        result = Simulator(cluster, jobs, PackPair(), model_cpu=True).run()
+        for record in result.records:
+            assert record.jct < 1150.0
+
+    def test_exclusive_jobs_unaffected(self):
+        jobs = [cpu_job(1, cpu_per_gpu=8.0, sensitivity=1.0)]
+        cluster = Cluster.homogeneous(1, vc_name="vc1")
+        result = Simulator(cluster, jobs, Greedy(), model_cpu=True).run()
+        # 8 GPUs x 8 CPUs = 64 = capacity: exactly satisfiable.
+        assert result.records[0].jct == pytest.approx(1000.0, rel=0.01)
+
+
+class TestCPUAwareBinder:
+    def test_prefers_cpu_fitting_mate(self):
+        """Among equal sharing scores, the CPU-fitting mate wins."""
+        from test_binder import engine_with_running, const_estimate
+
+        hungry = cpu_job(1, cpu_per_gpu=8.0, gpu_num=8)
+        hungry.sharing_score = 0
+        frugal = cpu_job(2, cpu_per_gpu=2.0, gpu_num=8, gpu_util=6.0)
+        frugal.sharing_score = 0
+        job = cpu_job(3, cpu_per_gpu=8.0, gpu_num=8)
+        job.sharing_score = 0
+        sim = engine_with_running([hungry, frugal], extra=[job])
+        sim.model_cpu = True
+        binder = AffineJobpairBinder()
+        # job+hungry demands 128 > 64 CPUs (overload 64); job+frugal
+        # demands 80 (overload 16): frugal wins despite higher... equal
+        # sharing scores.
+        assert binder.find_mate(sim, job, const_estimate()) is frugal
+
+    def test_overload_never_vetoes(self):
+        """A CPU-oversubscribed pair still packs when it is the only
+        option — packing beats queuing under contention."""
+        from test_binder import engine_with_running, const_estimate
+
+        mate = cpu_job(1, cpu_per_gpu=8.0)
+        mate.sharing_score = 0
+        job = cpu_job(2, cpu_per_gpu=8.0)
+        job.sharing_score = 0
+        sim = engine_with_running([mate], extra=[job])
+        sim.model_cpu = True
+        binder = AffineJobpairBinder()
+        assert binder.find_mate(sim, job, const_estimate()) is mate
+
+    def test_ranking_inert_without_cpu_model(self):
+        from test_binder import engine_with_running, const_estimate
+
+        mate = cpu_job(1, cpu_per_gpu=32.0)
+        mate.sharing_score = 0
+        job = cpu_job(2, cpu_per_gpu=32.0)
+        job.sharing_score = 0
+        sim = engine_with_running([mate], extra=[job])
+        binder = AffineJobpairBinder()
+        assert binder._cpu_overload(sim, job, mate) == 0.0
+        assert binder.find_mate(sim, job, const_estimate()) is mate
+
+
+class TestEndToEndCPU:
+    def test_lucid_runs_with_cpu_model(self):
+        from repro.core import LucidScheduler
+
+        spec = TraceSpec(name="cpu", n_nodes=6, n_vcs=2, n_jobs=250,
+                         full_n_jobs=250, mean_duration=1800.0,
+                         span_days=0.3, n_users=12, seed=777)
+        gen = TraceGenerator(spec)
+        cluster = gen.build_cluster()
+        history = gen.generate_history()
+        jobs = gen.generate()
+        result = Simulator(cluster, jobs, LucidScheduler(history),
+                           model_cpu=True).run()
+        assert result.n_jobs == spec.n_jobs
+
+    def test_generator_assigns_task_based_cpu_demand(self):
+        spec = TraceSpec(name="cpu", n_nodes=4, n_vcs=1, n_jobs=400,
+                         full_n_jobs=400, mean_duration=1800.0,
+                         span_days=0.3, n_users=12, seed=777)
+        jobs = TraceGenerator(spec).generate()
+        demands = {j.cpu_per_gpu for j in jobs}
+        assert len(demands) > 1  # task families differ
+        assert all(2.0 <= j.cpu_per_gpu <= 16.0 for j in jobs)
+        assert all(0.0 <= j.cpu_sensitivity <= 1.0 for j in jobs)

@@ -1,0 +1,246 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.cluster import Cluster, find_consolidated
+from repro.schedulers.base import Scheduler
+from repro.sim import Simulator
+from repro.workloads import InterferenceModel, JobStatus
+
+from conftest import make_job
+
+
+class GreedyScheduler(Scheduler):
+    """Places every pending job exclusively, in submit order."""
+
+    name = "greedy"
+
+    def schedule(self, now):
+        for job in sorted(self.queue, key=lambda j: j.submit_time):
+            if self.try_place_exclusive(job):
+                self.queue.remove(job)
+
+
+class PackPairScheduler(Scheduler):
+    """Places the first job exclusively, packs the second onto it."""
+
+    name = "packpair"
+
+    def schedule(self, now):
+        for job in list(self.queue):
+            running = self.engine.running_jobs()
+            if running and running[0].gpu_num == job.gpu_num:
+                self.engine.start_job(job, self.engine.gpus_of(running[0]))
+            elif not self.try_place_exclusive(job):
+                continue
+            self.queue.remove(job)
+
+
+def run_sim(jobs, scheduler=None, nodes=2, interference=None):
+    cluster = Cluster.homogeneous(nodes, vc_name="vc1")
+    sim = Simulator(cluster, jobs, scheduler or GreedyScheduler(),
+                    interference=interference)
+    return sim.run()
+
+
+class TestBasicExecution:
+    def test_single_job_runs_to_completion(self):
+        result = run_sim([make_job(1, duration=500.0, submit_time=10.0)])
+        record = result.records[0]
+        assert record.jct == pytest.approx(500.0)
+        assert record.queue_delay == pytest.approx(0.0)
+        assert result.makespan == pytest.approx(510.0)
+
+    def test_jobs_run_in_parallel_when_capacity_allows(self):
+        jobs = [make_job(i, duration=1000.0, gpu_num=4, submit_time=0.0)
+                for i in range(1, 4)]
+        result = run_sim(jobs)
+        assert result.makespan == pytest.approx(1000.0)
+
+    def test_queueing_when_capacity_exhausted(self):
+        jobs = [make_job(i, duration=1000.0, gpu_num=8, submit_time=0.0)
+                for i in range(1, 4)]
+        result = run_sim(jobs)  # 16 GPUs: two run, one waits
+        assert result.makespan == pytest.approx(2000.0)
+        delays = sorted(r.queue_delay for r in result.records)
+        assert delays == pytest.approx([0.0, 0.0, 1000.0])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sim([make_job(1), make_job(1)])
+
+    def test_deadlock_detected(self):
+        # 24-GPU job in a 16-GPU cluster can never start.
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_sim([make_job(1, gpu_num=24)])
+
+    def test_all_records_present(self):
+        jobs = [make_job(i, duration=100.0 * i, submit_time=5.0 * i)
+                for i in range(1, 9)]
+        result = run_sim(jobs)
+        assert result.n_jobs == 8
+        assert {r.job_id for r in result.records} == set(range(1, 9))
+
+
+class TestPacking:
+    def test_packed_pair_slows_down(self):
+        inter = InterferenceModel(pair_noise_std=0.0)
+        jobs = [
+            make_job(1, duration=1000.0, gpu_util=80.0, mem_util=50.0),
+            make_job(2, duration=1000.0, gpu_util=80.0, mem_util=50.0),
+        ]
+        result = run_sim(jobs, PackPairScheduler(), interference=inter)
+        # Both packed from t=0: speed < 1 so both finish late.
+        for record in result.records:
+            assert record.jct > 1050.0
+
+    def test_mate_speeds_up_after_partner_finishes(self):
+        inter = InterferenceModel(pair_noise_std=0.0)
+        jobs = [
+            make_job(1, duration=2000.0, gpu_util=80.0, mem_util=50.0),
+            make_job(2, duration=200.0, gpu_util=80.0, mem_util=50.0),
+        ]
+        result = run_sim(jobs, PackPairScheduler(), interference=inter)
+        long_record = next(r for r in result.records if r.job_id == 1)
+        short_record = next(r for r in result.records if r.job_id == 2)
+        # The long job ran packed only briefly, so finishes close to 2000s,
+        # but strictly later; it must not be double-penalized.
+        assert 2000.0 < long_record.jct < 2150.0
+        assert short_record.jct > 200.0
+
+    def test_light_pair_packs_nearly_free(self):
+        inter = InterferenceModel(pair_noise_std=0.0)
+        jobs = [
+            make_job(1, duration=1000.0, gpu_util=10.0, mem_util=5.0),
+            make_job(2, duration=1000.0, gpu_util=10.0, mem_util=5.0),
+        ]
+        result = run_sim(jobs, PackPairScheduler(), interference=inter)
+        for record in result.records:
+            assert record.jct == pytest.approx(1000.0, rel=0.02)
+
+    def test_shared_utilization_tracked(self):
+        inter = InterferenceModel(pair_noise_std=0.0)
+        jobs = [
+            make_job(1, duration=1000.0, gpu_util=10.0),
+            make_job(2, duration=1000.0, gpu_util=10.0),
+        ]
+        result = run_sim(jobs, PackPairScheduler(), interference=inter)
+        assert result.utilization.gpu_shared > 0.0
+
+
+class TestPreemption:
+    def test_stop_and_resume_preserves_progress(self):
+        class PreemptOnce(Scheduler):
+            tick_interval = 100.0
+
+            def __init__(self):
+                super().__init__()
+                self.did_preempt = False
+
+            def schedule(self, now):
+                if (not self.did_preempt and now >= 500.0
+                        and self.engine.running_jobs()):
+                    job = self.engine.running_jobs()[0]
+                    self.engine.stop_job(job, preempted=True)
+                    self.queue.append(job)
+                    self.did_preempt = True
+                for job in list(self.queue):
+                    if self.try_place_exclusive(job):
+                        self.queue.remove(job)
+
+        result = run_sim([make_job(1, duration=1000.0)], PreemptOnce())
+        record = result.records[0]
+        assert record.preemptions == 1
+        # Preempted at ~500, resumed immediately: tiny added wall time.
+        assert record.jct == pytest.approx(1000.0, abs=120.0)
+
+    def test_resume_overhead_counts_as_queue_not_service(self):
+        class OverheadScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated(self.engine.cluster, job.gpu_num)
+                    if gpus:
+                        self.engine.start_job(job, gpus, overhead=62.0)
+                        self.queue.remove(job)
+
+        result = run_sim([make_job(1, duration=1000.0)], OverheadScheduler())
+        record = result.records[0]
+        assert record.jct == pytest.approx(1062.0)
+        assert record.queue_delay == pytest.approx(62.0)
+
+
+class TestTimeLimit:
+    def test_time_limit_fires_for_long_job(self):
+        events = []
+
+        class LimitScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated(self.engine.cluster, job.gpu_num)
+                    if gpus:
+                        self.engine.start_job(job, gpus, time_limit=100.0)
+                        self.queue.remove(job)
+
+            def on_time_limit(self, job, now):
+                events.append((job.job_id, now))
+                self.engine.stop_job(job)
+                job.progress = 0.0
+                gpus = find_consolidated(self.engine.cluster, job.gpu_num)
+                self.engine.start_job(job, gpus)  # restart without limit
+
+        result = run_sim([make_job(1, duration=500.0)], LimitScheduler())
+        assert events == [(1, pytest.approx(100.0))]
+        # Restarted from scratch after 100s: finishes at 600s.
+        assert result.records[0].jct == pytest.approx(600.0)
+
+    def test_short_job_finishes_before_limit(self):
+        fired = []
+
+        class LimitScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated(self.engine.cluster, job.gpu_num)
+                    if gpus:
+                        self.engine.start_job(job, gpus, time_limit=100.0,
+                                              profiling=True)
+                        self.queue.remove(job)
+
+            def on_time_limit(self, job, now):
+                fired.append(job.job_id)
+
+        result = run_sim([make_job(1, duration=50.0)], LimitScheduler())
+        assert fired == []
+        assert result.records[0].finished_in_profiler
+        assert result.records[0].jct == pytest.approx(50.0)
+
+
+class TestEngineGuards:
+    def test_double_start_rejected(self):
+        class BadScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated(self.engine.cluster, job.gpu_num)
+                    self.engine.start_job(job, gpus)
+                    self.engine.start_job(job, gpus)  # boom
+
+        with pytest.raises(RuntimeError, match="already running"):
+            run_sim([make_job(1)], BadScheduler())
+
+    def test_wrong_gpu_count_rejected(self):
+        class BadScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated(self.engine.cluster, 2)
+                    self.engine.start_job(job, gpus)
+
+        with pytest.raises(RuntimeError, match="needs 1 GPUs"):
+            run_sim([make_job(1, gpu_num=1)], BadScheduler())
+
+    def test_stop_non_running_rejected(self):
+        class BadScheduler(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    self.engine.stop_job(job)
+
+        with pytest.raises(RuntimeError, match="not running"):
+            run_sim([make_job(1)], BadScheduler())

@@ -1,0 +1,107 @@
+"""Tests for random forests and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.models.boosting import (
+    GradientBoostingRegressor,
+    lightgbm_like,
+    xgboost_like,
+)
+from repro.models.forest import RandomForestClassifier, RandomForestRegressor
+from repro.models.metrics import accuracy, r2_score
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(-2, 2, size=(500, 4))
+    y = np.sin(X[:, 0] * 2) * 3 + X[:, 1] ** 2 + rng.normal(0, 0.2, 500)
+    return X, y
+
+
+class TestRandomForest:
+    def test_regressor_fits(self, data):
+        X, y = data
+        model = RandomForestRegressor(n_estimators=20, max_depth=8,
+                                      random_state=1).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.85
+
+    def test_classifier_fits(self, data):
+        X, y = data
+        labels = (y > np.median(y)).astype(int)
+        model = RandomForestClassifier(n_estimators=15, max_depth=6,
+                                       random_state=1).fit(X, labels)
+        assert accuracy(labels, model.predict(X)) > 0.9
+
+    def test_classifier_proba_shape(self, data):
+        X, y = data
+        labels = (y > np.median(y)).astype(int)
+        model = RandomForestClassifier(n_estimators=5, max_depth=3).fit(X, labels)
+        probs = model.predict_proba(X[:10])
+        assert probs.shape == (10, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self, data):
+        X, y = data
+        p1 = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, y).predict(X[:5])
+        p2 = RandomForestRegressor(n_estimators=5, random_state=3).fit(X, y).predict(X[:5])
+        assert np.allclose(p1, p2)
+
+    def test_importances_shape(self, data):
+        X, y = data
+        model = RandomForestRegressor(n_estimators=5, max_depth=4).fit(X, y)
+        imps = model.feature_importances()
+        assert imps.shape == (4,)
+        assert imps.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict([[1, 2, 3, 4]])
+
+
+class TestGradientBoosting:
+    def test_fits_nonlinear_target(self, data):
+        X, y = data
+        model = GradientBoostingRegressor(n_estimators=80, max_depth=3,
+                                          random_state=1).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_more_stages_improve_train_fit(self, data):
+        X, y = data
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=2).fit(X, y)
+        scores = [r2_score(y, pred) for pred in model.staged_predict(X)]
+        assert scores[-1] > scores[0]
+
+    def test_presets_construct(self):
+        assert lightgbm_like().subsample == 0.8
+        assert xgboost_like().reg_lambda == 1.0
+
+    def test_preset_overrides(self):
+        model = lightgbm_like(n_estimators=10)
+        assert model.n_estimators == 10
+
+    def test_l2_shrinks_predictions(self, data):
+        X, y = data
+        y_centered = y - y.mean()
+        plain = GradientBoostingRegressor(n_estimators=5, max_depth=2,
+                                          random_state=0).fit(X, y_centered)
+        reg = GradientBoostingRegressor(n_estimators=5, max_depth=2,
+                                        reg_lambda=100.0,
+                                        random_state=0).fit(X, y_centered)
+        assert (np.abs(reg.predict(X) - y_centered.mean()).mean()
+                < np.abs(plain.predict(X) - y_centered.mean()).mean())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict([[1.0]])

@@ -1,0 +1,119 @@
+"""Tests for the fairness extension (paper §6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import (
+    finish_time_fairness,
+    group_slowdowns,
+    jain_index,
+    slowdown,
+    starvation_ratio,
+    user_fairness,
+    vc_fairness,
+)
+from repro.sim.metrics import SimulationResult, UtilizationSummary
+from repro.workloads.job import JobRecord
+
+
+def record(job_id, user="u1", vc="a", duration=100.0, jct=150.0,
+           queue=50.0):
+    return JobRecord(job_id=job_id, name=f"j{job_id}", user=user, vc=vc,
+                     submit_time=0.0, duration=duration, gpu_num=1, jct=jct,
+                     queue_delay=queue, preemptions=0,
+                     finished_in_profiler=False)
+
+
+@pytest.fixture
+def result():
+    return SimulationResult(
+        records=[
+            record(1, user="alice", vc="a", duration=100, jct=100, queue=0),
+            record(2, user="alice", vc="a", duration=100, jct=200, queue=100),
+            record(3, user="bob", vc="b", duration=100, jct=400, queue=300),
+        ],
+        makespan=400.0,
+        utilization=UtilizationSummary(0.5, 0.0, 0.2),
+    )
+
+
+class TestJainIndex:
+    def test_equal_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_index([7.0]) == pytest.approx(1.0)
+
+    def test_worst_case(self):
+        # One group hogging everything: index -> 1/n.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestSlowdowns:
+    def test_slowdown(self):
+        assert slowdown(record(1, duration=100, jct=250)) == pytest.approx(2.5)
+
+    def test_group_slowdowns_by_user(self, result):
+        groups = group_slowdowns(result, lambda r: r.user)
+        assert groups["alice"] == pytest.approx(1.5)  # (1.0 + 2.0) / 2
+        assert groups["bob"] == pytest.approx(4.0)
+
+    def test_user_fairness_below_one_when_skewed(self, result):
+        assert user_fairness(result) < 1.0
+
+    def test_vc_fairness(self, result):
+        assert 0.0 < vc_fairness(result) <= 1.0
+
+    def test_perfectly_fair_run(self):
+        fair = SimulationResult(
+            records=[record(i, user=f"u{i}", duration=100, jct=100, queue=0)
+                     for i in range(5)],
+            makespan=100.0, utilization=UtilizationSummary(1, 0, 0))
+        assert user_fairness(fair) == pytest.approx(1.0)
+
+
+class TestFinishTimeFairness:
+    def test_summary_keys(self, result):
+        summary = finish_time_fairness(result)
+        assert summary["mean"] == pytest.approx((1 + 2 + 4) / 3)
+        assert summary["max"] == pytest.approx(4.0)
+        assert summary["p95"] <= summary["max"]
+
+    def test_empty(self):
+        empty = SimulationResult([], 0.0, UtilizationSummary(0, 0, 0))
+        assert finish_time_fairness(empty)["mean"] == 0.0
+
+
+class TestStarvation:
+    def test_ratio(self, result):
+        # queues 0, 100, 300 -> max/mean = 300 / 133.3
+        assert starvation_ratio(result) == pytest.approx(300 / (400 / 3))
+
+    def test_no_queueing(self):
+        res = SimulationResult([record(1, queue=0.0)], 10.0,
+                               UtilizationSummary(0, 0, 0))
+        assert starvation_ratio(res) == 1.0
+
+
+class TestSchedulerFairnessComparison:
+    def test_lucid_fairer_than_fifo(self, tiny_spec):
+        """Integration: Lucid's user fairness should not trail FIFO's."""
+        from repro import Simulator, TraceGenerator, make_scheduler
+
+        def run(name):
+            gen = TraceGenerator(tiny_spec)
+            cluster = gen.build_cluster()
+            history = gen.generate_history()
+            return Simulator(cluster, gen.generate(),
+                             make_scheduler(name, history)).run()
+
+        lucid = user_fairness(run("lucid"))
+        fifo = user_fairness(run("fifo"))
+        assert lucid >= fifo - 0.05

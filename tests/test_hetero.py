@@ -1,0 +1,240 @@
+"""Tests for heterogeneous GPU support (paper §6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.hetero import (
+    A100,
+    GPU_TYPES,
+    GPUType,
+    K80,
+    RTX3090,
+    V100,
+    allocation_speed,
+    build_heterogeneous_cluster,
+    find_consolidated_typed,
+    node_speed,
+)
+from repro.core.hetero_lucid import HeteroLucidScheduler
+from repro.core import LucidScheduler
+from repro.sim import Simulator
+from repro.traces import TraceGenerator, TraceSpec
+
+from conftest import make_job
+
+
+@pytest.fixture
+def mixed_cluster():
+    return build_heterogeneous_cluster({
+        "vc1": [(A100, 1), (RTX3090, 1), (K80, 2)],
+    })
+
+
+class TestGPUType:
+    def test_presets(self):
+        assert GPU_TYPES["A100"].speed_factor > GPU_TYPES["V100"].speed_factor
+        assert GPU_TYPES["K80"].speed_factor < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUType("bad", speed_factor=0.0, memory_mb=1)
+        with pytest.raises(ValueError):
+            GPUType("bad", speed_factor=1.0, memory_mb=0)
+
+
+class TestHeteroCluster:
+    def test_layout_applied(self, mixed_cluster):
+        speeds = sorted(node_speed(n) for n in mixed_cluster.nodes)
+        assert speeds == [0.25, 0.25, 1.0, 1.7]
+        a100_node = next(n for n in mixed_cluster.nodes
+                         if node_speed(n) == 1.7)
+        assert all(g.speed_factor == 1.7 for g in a100_node.gpus)
+        assert a100_node.gpus[0].memory_mb == A100.memory_mb
+
+    def test_allocation_speed_straggler(self, mixed_cluster):
+        fast = next(n for n in mixed_cluster.nodes if node_speed(n) == 1.7)
+        slow = next(n for n in mixed_cluster.nodes if node_speed(n) == 0.25)
+        assert allocation_speed(fast.gpus) == 1.7
+        assert allocation_speed(fast.gpus[:2] + slow.gpus[:2]) == 0.25
+
+
+class TestTypedPlacement:
+    def test_prefer_fast(self, mixed_cluster):
+        gpus = find_consolidated_typed(mixed_cluster, 4, prefer_fast=True)
+        assert allocation_speed(gpus) == 1.7
+
+    def test_prefer_slow(self, mixed_cluster):
+        gpus = find_consolidated_typed(mixed_cluster, 4, prefer_fast=False)
+        assert allocation_speed(gpus) == 0.25
+
+    def test_memory_filter_excludes_small_gpus(self, mixed_cluster):
+        gpus = find_consolidated_typed(mixed_cluster, 4, prefer_fast=False,
+                                       min_memory_mb=20_000.0)
+        # K80 (12 GB) is excluded; slowest eligible is the 3090.
+        assert allocation_speed(gpus) == 1.0
+
+    def test_falls_through_full_tiers(self, mixed_cluster):
+        fast = next(n for n in mixed_cluster.nodes if node_speed(n) == 1.7)
+        for gpu in fast.gpus:
+            gpu.attach(99, 100.0)
+        gpus = find_consolidated_typed(mixed_cluster, 8, prefer_fast=True)
+        assert allocation_speed(gpus) == 1.0  # next tier down
+
+    def test_multi_node_stays_in_one_tier(self, mixed_cluster):
+        gpus = find_consolidated_typed(mixed_cluster, 16, prefer_fast=False)
+        assert gpus is not None
+        assert allocation_speed(gpus) == 0.25
+        assert len({g.node_id for g in gpus}) == 2
+
+
+class TestTolerantPlacement:
+    def test_short_job_takes_anything(self, mixed_cluster):
+        from repro.cluster.hetero import find_tolerant_placement
+        # Fill every tier except the K80s.
+        for node in mixed_cluster.nodes:
+            if node_speed(node) > 0.25:
+                for gpu in node.gpus:
+                    gpu.attach(99, 100.0)
+        gpus = find_tolerant_placement(mixed_cluster, 1, est_duration=120.0)
+        assert gpus is not None
+        assert allocation_speed(gpus) == 0.25
+
+    def test_long_job_refuses_slow_tier(self, mixed_cluster):
+        from repro.cluster.hetero import find_tolerant_placement
+        for node in mixed_cluster.nodes:
+            if node_speed(node) > 0.25:
+                for gpu in node.gpus:
+                    gpu.attach(99, 100.0)
+        # A 20 h job on a K80 would cost ~3x extra: refuse and wait.
+        gpus = find_tolerant_placement(mixed_cluster, 1,
+                                       est_duration=20 * 3600.0)
+        assert gpus is None
+
+    def test_fastest_free_preferred(self, mixed_cluster):
+        from repro.cluster.hetero import find_tolerant_placement
+        gpus = find_tolerant_placement(mixed_cluster, 2, est_duration=60.0)
+        assert allocation_speed(gpus) == 1.7
+
+    def test_est_duration_validated(self, mixed_cluster):
+        from repro.cluster.hetero import find_tolerant_placement
+        with pytest.raises(ValueError):
+            find_tolerant_placement(mixed_cluster, 1, est_duration=0.0)
+
+
+class TestEngineIntegration:
+    def test_slow_gpu_slows_job(self, mixed_cluster):
+        from repro.schedulers.base import Scheduler
+
+        class PlaceOnSlow(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated_typed(
+                        self.engine.cluster, job.gpu_num, prefer_fast=False)
+                    self.engine.start_job(job, gpus)
+                    self.queue.remove(job)
+
+        job = make_job(1, duration=1000.0, gpu_num=1)
+        result = Simulator(mixed_cluster, [job], PlaceOnSlow()).run()
+        assert result.records[0].jct == pytest.approx(1000.0 / 0.25)
+
+    def test_fast_gpu_speeds_job(self, mixed_cluster):
+        from repro.schedulers.base import Scheduler
+
+        class PlaceOnFast(Scheduler):
+            def schedule(self, now):
+                for job in list(self.queue):
+                    gpus = find_consolidated_typed(
+                        self.engine.cluster, job.gpu_num, prefer_fast=True)
+                    self.engine.start_job(job, gpus)
+                    self.queue.remove(job)
+
+        job = make_job(1, duration=1000.0, gpu_num=1)
+        result = Simulator(mixed_cluster, [job], PlaceOnFast()).run()
+        assert result.records[0].jct == pytest.approx(1000.0 / 1.7)
+
+
+HETERO_SPEC = TraceSpec(
+    name="hetero", n_nodes=8, n_vcs=1, n_jobs=350, full_n_jobs=350,
+    mean_duration=2500.0, span_days=0.5, n_users=16, seed=555,
+)
+
+
+def _hetero_cluster():
+    return build_heterogeneous_cluster({
+        "vc01": [(A100, 2), (RTX3090, 3), (V100, 2), (K80, 1)],
+    })
+
+
+def _scarce_cluster():
+    """Mostly legacy silicon with a couple of fast racks — the scenario
+    where generation-aware placement matters most."""
+    return build_heterogeneous_cluster({
+        "vc01": [(K80, 6), (A100, 2)],
+    })
+
+
+class TestHeteroLucid:
+    def test_runs_to_completion(self):
+        gen = TraceGenerator(HETERO_SPEC)
+        history = gen.generate_history()
+        jobs = gen.generate()
+        scheduler = HeteroLucidScheduler(history)
+        result = Simulator(_hetero_cluster(), jobs, scheduler).run()
+        assert result.n_jobs == HETERO_SPEC.n_jobs
+
+    def test_beats_blind_when_fast_gpus_scarce(self):
+        def run(scheduler_cls):
+            gen = TraceGenerator(HETERO_SPEC)
+            history = gen.generate_history()
+            jobs = gen.generate()
+            return Simulator(_scarce_cluster(), jobs,
+                             scheduler_cls(history)).run()
+
+        aware = run(HeteroLucidScheduler)
+        blind = run(LucidScheduler)
+        # On a legacy-heavy cluster, keeping long jobs off the K80s is a
+        # large win (blind placement strands them at 0.25x for hours).
+        assert aware.avg_jct < blind.avg_jct * 0.8
+
+    def test_competitive_on_fast_rich_cluster(self):
+        def run(scheduler_cls):
+            gen = TraceGenerator(HETERO_SPEC)
+            history = gen.generate_history()
+            jobs = gen.generate()
+            return Simulator(_hetero_cluster(), jobs,
+                             scheduler_cls(history)).run()
+
+        aware = run(HeteroLucidScheduler)
+        blind = run(LucidScheduler)
+        # When fast GPUs are plentiful, type-blind best-fit is already
+        # near-optimal; awareness must stay competitive.
+        assert aware.avg_jct <= blind.avg_jct * 1.1
+
+    def test_long_jobs_land_on_fast_gpus(self):
+        gen = TraceGenerator(HETERO_SPEC)
+        history = gen.generate_history()
+        jobs = gen.generate()
+        scheduler = HeteroLucidScheduler(history)
+        cluster = _scarce_cluster()
+        sim = Simulator(cluster, jobs, scheduler)
+        placements = {}
+        original = sim.start_job
+
+        def spy(job, gpus, **kwargs):
+            if not kwargs.get("profiling"):
+                placements[job.job_id] = allocation_speed(gpus)
+            return original(job, gpus, **kwargs)
+
+        sim.start_job = spy
+        sim.run()
+        by_job = {j.job_id: j for j in jobs}
+        long_speeds = [v for jid, v in placements.items()
+                       if by_job[jid].duration > 4 * 3600]
+        short_speeds = [v for jid, v in placements.items()
+                        if by_job[jid].duration < 600]
+        assert long_speeds and short_speeds
+        assert np.mean(long_speeds) > np.mean(short_speeds)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            HeteroLucidScheduler([make_job(1)], max_extra_fraction=-1.0)

@@ -1,0 +1,162 @@
+"""End-to-end integration tests of the full Lucid scheduler."""
+
+import numpy as np
+import pytest
+
+from repro import make_scheduler, quick_simulation
+from repro.core import LucidConfig, LucidScheduler
+from repro.schedulers import FIFOScheduler, SJFScheduler
+from repro.sim import Simulator
+from repro.traces import TraceGenerator, TraceSpec
+from repro.workloads import JobStatus
+
+
+SPEC = TraceSpec(
+    name="itest", n_nodes=8, n_vcs=3, n_jobs=300, full_n_jobs=300,
+    mean_duration=2500.0, span_days=0.6, n_users=20, seed=123,
+)
+
+
+def run_lucid(config=None, spec=SPEC):
+    gen = TraceGenerator(spec)
+    cluster = gen.build_cluster()
+    history = gen.generate_history()
+    jobs = gen.generate()
+    scheduler = LucidScheduler(history, config=config)
+    result = Simulator(cluster, jobs, scheduler).run()
+    return result, scheduler
+
+
+@pytest.fixture(scope="module")
+def lucid_run():
+    return run_lucid()
+
+
+class TestCompleteness:
+    def test_all_jobs_finish(self, lucid_run):
+        result, _ = lucid_run
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_profiler_filters_debug_jobs(self, lucid_run):
+        """§4.5: 23-55% of jobs finish during the profiling stage."""
+        result, _ = lucid_run
+        assert 0.15 <= result.profiler_finish_rate() <= 0.70
+
+    def test_no_preemptions(self, lucid_run):
+        """Lucid is preemption-free (A1)."""
+        result, _ = lucid_run
+        assert result.total_preemptions() == 0
+
+    def test_profiled_jobs_have_measured_profiles(self, lucid_run):
+        result, _ = lucid_run
+        for record in result.records:
+            assert record.profile is not None
+
+    def test_queue_delays_non_negative(self, lucid_run):
+        result, _ = lucid_run
+        assert all(r.queue_delay >= -1e-6 for r in result.records)
+
+    def test_dynamic_modes_were_exercised(self, lucid_run):
+        _, scheduler = lucid_run
+        assert len(scheduler.mode_history) > 0
+
+
+class TestPerformance:
+    def test_beats_fifo_substantially(self, lucid_run):
+        lucid, _ = lucid_run
+        gen = TraceGenerator(SPEC)
+        cluster = gen.build_cluster()
+        gen.generate_history()
+        fifo = Simulator(cluster, gen.generate(), FIFOScheduler()).run()
+        assert lucid.avg_jct < fifo.avg_jct
+
+    def test_competitive_with_sjf_oracle(self, lucid_run):
+        lucid, _ = lucid_run
+        gen = TraceGenerator(SPEC)
+        cluster = gen.build_cluster()
+        gen.generate_history()
+        sjf = Simulator(cluster, gen.generate(), SJFScheduler()).run()
+        assert lucid.avg_jct < sjf.avg_jct * 1.35
+
+    def test_short_jobs_get_fast_feedback(self, lucid_run):
+        """Debugging feedback: short jobs see sub-minute-scale queuing."""
+        result, _ = lucid_run
+        short = [r for r in result.records if r.duration <= 120.0]
+        assert short
+        assert np.median([r.queue_delay for r in short]) < 300.0
+
+
+class TestAblations:
+    def test_sharing_off_runs(self):
+        result, scheduler = run_lucid(LucidConfig(packing_policy="off"))
+        assert result.utilization.gpu_shared == 0.0
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_naive_packing_runs(self):
+        result, _ = run_lucid(LucidConfig(packing_policy="naive"))
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_no_estimator_runs(self):
+        result, scheduler = run_lucid(LucidConfig(enable_estimator=False))
+        assert scheduler.estimator is None
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_no_profiler_runs(self):
+        result, scheduler = run_lucid(LucidConfig(enable_profiler=False))
+        assert scheduler.profiler is None
+        assert result.profiler_finish_rate() == 0.0
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_static_models_run(self):
+        result, scheduler = run_lucid(LucidConfig(update_interval=None))
+        assert scheduler.update_engine.refits == 0
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_instability_eviction_runs(self):
+        result, _ = run_lucid(LucidConfig(instability_rate=0.05))
+        assert result.n_jobs == SPEC.n_jobs
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LucidConfig(packing_policy="aggressive")
+        with pytest.raises(ValueError):
+            LucidConfig(t_prof=-1.0)
+
+    def test_ablated_copy(self):
+        config = LucidConfig().ablated(enable_estimator=False)
+        assert not config.enable_estimator
+        assert config.enable_profiler  # untouched
+
+
+class TestNonIntrusiveness:
+    def test_scheduler_never_reads_true_duration(self):
+        """The estimate must come from history, not job.duration."""
+        gen = TraceGenerator(SPEC)
+        cluster = gen.build_cluster()
+        history = gen.generate_history()
+        jobs = gen.generate()
+        scheduler = LucidScheduler(history)
+        result = Simulator(cluster, jobs, scheduler).run()
+        # Estimated durations differ from ground truth for most jobs
+        # (an oracle would match them exactly).
+        ests = [(j.estimated_duration, j.duration) for j in jobs
+                if j.estimated_duration is not None]
+        assert ests
+        exact = sum(1 for est, actual in ests
+                    if est == pytest.approx(actual, rel=1e-9))
+        assert exact < len(ests) * 0.1
+
+    def test_requires_history(self):
+        with pytest.raises(ValueError):
+            LucidScheduler([])
+
+
+class TestQuickSimulation:
+    def test_quick_simulation_api(self):
+        result = quick_simulation("venus", scheduler="fifo", n_jobs=60,
+                                  seed=5)
+        assert result.n_jobs == 60
+
+    def test_make_scheduler_unknown(self):
+        with pytest.raises(KeyError):
+            make_scheduler("cosmos", [])

@@ -1,0 +1,118 @@
+"""Tests for simulation metrics and result aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import (
+    ScaleStats,
+    SimulationResult,
+    UtilizationSummary,
+    speedup,
+)
+from repro.workloads.job import JobRecord
+
+
+def record(job_id=1, duration=100.0, gpu_num=1, jct=150.0, queue=50.0,
+           vc="vc1", preemptions=0, in_profiler=False):
+    return JobRecord(
+        job_id=job_id, name=f"j{job_id}", user="u", vc=vc, submit_time=0.0,
+        duration=duration, gpu_num=gpu_num, jct=jct, queue_delay=queue,
+        preemptions=preemptions, finished_in_profiler=in_profiler,
+    )
+
+
+@pytest.fixture
+def result():
+    records = [
+        record(1, duration=100, gpu_num=1, jct=100, queue=0, vc="a",
+               in_profiler=True),
+        record(2, duration=200, gpu_num=4, jct=300, queue=100, vc="a"),
+        record(3, duration=50, gpu_num=16, jct=500, queue=450, vc="b",
+               preemptions=2),
+        record(4, duration=30, gpu_num=1, jct=400, queue=370, vc="b"),
+    ]
+    return SimulationResult(records=records, makespan=1000.0,
+                            utilization=UtilizationSummary(0.5, 0.1, 0.3))
+
+
+class TestAggregates:
+    def test_avg_jct(self, result):
+        assert result.avg_jct == pytest.approx((100 + 300 + 500 + 400) / 4)
+
+    def test_avg_queue(self, result):
+        assert result.avg_queue_delay == pytest.approx((0 + 100 + 450 + 370) / 4)
+
+    def test_percentile(self, result):
+        assert result.queue_percentile(100) == pytest.approx(450)
+        assert result.queue_percentile(0) == pytest.approx(0)
+
+    def test_empty_result(self):
+        empty = SimulationResult([], 0.0, UtilizationSummary(0, 0, 0))
+        assert empty.avg_jct == 0.0
+        assert empty.avg_queue_delay == 0.0
+        assert empty.queue_percentile(99.9) == 0.0
+        assert empty.profiler_finish_rate() == 0.0
+
+
+class TestBreakdowns:
+    def test_by_vc(self, result):
+        groups = result.by_vc()
+        assert len(groups["a"]) == 2
+        assert len(groups["b"]) == 2
+
+    def test_avg_queue_by_vc(self, result):
+        per_vc = result.avg_queue_by_vc()
+        assert per_vc["a"] == pytest.approx(50)
+        assert per_vc["b"] == pytest.approx(410)
+
+    def test_scale_split(self, result):
+        split = result.scale_split()
+        assert split["large"].n_jobs == 1  # only the 16-GPU job
+        assert split["small"].n_jobs == 3
+        assert split["large"].avg_queue_delay == pytest.approx(450)
+
+    def test_scale_split_empty_class(self):
+        res = SimulationResult([record(1)], 10.0, UtilizationSummary(0, 0, 0))
+        split = res.scale_split()
+        assert split["large"] == ScaleStats(0, 0.0, 0.0)
+
+    def test_profiler_finish_rate(self, result):
+        assert result.profiler_finish_rate() == pytest.approx(0.25)
+
+    def test_total_preemptions(self, result):
+        assert result.total_preemptions() == 2
+
+    def test_short_jobs_queued(self, result):
+        # Jobs 3 and 4: duration <= 60s with queue > 60s.
+        assert result.short_jobs_queued() == 2
+
+
+class TestCDF:
+    def test_jct_cdf_monotone(self, result):
+        xs, cdf = result.jct_cdf()
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_jct_cdf_custom_grid(self, result):
+        xs, cdf = result.jct_cdf(grid=[99, 100, 1000])
+        assert cdf[0] == 0.0
+        assert cdf[1] == pytest.approx(0.25)
+        assert cdf[2] == 1.0
+
+
+class TestSummary:
+    def test_summary_keys(self, result):
+        summary = result.summary()
+        for key in ("avg_jct_hrs", "avg_queue_hrs", "p999_queue_hrs",
+                    "makespan_hrs", "gpu_busy", "profiler_finish_rate"):
+            assert key in summary
+
+    def test_summary_units(self, result):
+        summary = result.summary()
+        assert summary["avg_jct_hrs"] == pytest.approx(result.avg_jct / 3600)
+        assert summary["makespan_hrs"] == pytest.approx(1000 / 3600)
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == 2.0
+    assert speedup(10.0, 0.0) == float("inf")

@@ -1,0 +1,126 @@
+"""Tests for the Table-1 model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.model_zoo import (
+    GPU_MEMORY_MB,
+    MODEL_ZOO,
+    ResourceProfile,
+    WorkloadConfig,
+    all_configurations,
+    configurations_sorted_by_util,
+    get_model,
+    get_profile,
+)
+
+
+def test_zoo_has_all_fourteen_models():
+    assert len(MODEL_ZOO) == 14
+
+
+def test_zoo_model_names_match_table1():
+    expected = {"ResNet-50", "MobileNetV3", "ResNet-18", "MobileNetV2",
+                "EfficientNet", "VGG-11", "DCGAN", "PointNet", "BERT",
+                "LSTM", "Transformer", "PPO", "TD3", "NeuMF"}
+    assert set(MODEL_ZOO) == expected
+
+
+def test_bert_only_batch_32():
+    assert get_model("BERT").batch_sizes == (32,)
+
+
+def test_transformer_and_rl_do_not_support_amp():
+    for name in ("Transformer", "PPO", "TD3"):
+        assert not get_model(name).supports_amp, name
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError, match="unknown model"):
+        get_model("AlexNet")
+
+
+def test_profile_bounds():
+    for config in all_configurations():
+        profile = get_profile(config)
+        assert 0 < profile.gpu_util <= 100
+        assert 0 < profile.gpu_mem_util <= 100
+        assert 0 < profile.gpu_mem_mb < GPU_MEMORY_MB
+
+
+def test_batch_size_increases_utilization():
+    spec = get_model("ResNet-18")
+    utils = [spec.profile(b, amp=False).gpu_util for b in (32, 64, 128)]
+    assert utils[0] < utils[1] < utils[2]
+
+
+def test_batch_size_increases_memory():
+    spec = get_model("VGG-11")
+    mems = [spec.profile(b, amp=False).gpu_mem_mb for b in (32, 64, 128)]
+    assert mems[0] < mems[1] < mems[2]
+
+
+def test_amp_reduces_pressure():
+    """Mixed precision lowers utilization and memory (Figure 2b basis)."""
+    spec = get_model("ResNet-50")
+    fp32 = spec.profile(64, amp=False)
+    amp = spec.profile(64, amp=True)
+    assert amp.gpu_util < fp32.gpu_util
+    assert amp.gpu_mem_mb < fp32.gpu_mem_mb
+    assert amp.amp and not fp32.amp
+
+
+def test_unsupported_batch_raises():
+    with pytest.raises(ValueError, match="batch size"):
+        get_model("BERT").profile(128, amp=False)
+
+
+def test_unsupported_amp_raises():
+    with pytest.raises(ValueError, match="AMP"):
+        get_model("PPO").profile(64, amp=True)
+
+
+def test_rl_models_are_lightest():
+    """RL workloads barely load the GPU (Figure 3a: PPO barely interferes)."""
+    ordered = configurations_sorted_by_util()
+    lightest_models = {c.model for c in ordered[:6]}
+    assert "PPO" in lightest_models
+
+
+def test_heavy_models_at_top():
+    ordered = configurations_sorted_by_util()
+    heaviest = {c.model for c in ordered[-6:]}
+    assert heaviest & {"ResNet-50", "BERT", "DCGAN"}
+
+
+def test_all_configurations_count():
+    # 11 AMP-capable models with batch lists + 3 non-AMP.
+    configs = all_configurations()
+    assert len(configs) == len({c.key for c in configs})
+    for spec in MODEL_ZOO.values():
+        per_model = [c for c in configs if c.model == spec.name]
+        multiplier = 2 if spec.supports_amp else 1
+        assert len(per_model) == len(spec.batch_sizes) * multiplier
+
+
+def test_profile_noise_stays_in_bounds(rng):
+    profile = get_profile(WorkloadConfig("ResNet-50", 128, False))
+    for _ in range(50):
+        noisy = profile.with_noise(rng)
+        assert 0 < noisy.gpu_util <= 100
+        assert 0 < noisy.gpu_mem_mb <= GPU_MEMORY_MB
+        assert noisy.amp == profile.amp
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        ResourceProfile(gpu_util=150.0, gpu_mem_util=10.0, gpu_mem_mb=100.0)
+    with pytest.raises(ValueError):
+        ResourceProfile(gpu_util=50.0, gpu_mem_util=-1.0, gpu_mem_mb=100.0)
+    with pytest.raises(ValueError):
+        ResourceProfile(gpu_util=50.0, gpu_mem_util=10.0, gpu_mem_mb=-5.0)
+
+
+def test_as_features_roundtrip():
+    profile = ResourceProfile(55.0, 33.0, 4096.0, True)
+    assert profile.as_features() == (55.0, 33.0, 4096.0, 1.0)

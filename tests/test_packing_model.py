@@ -1,0 +1,88 @@
+"""Tests for the Packing Analyze Model (§3.5.1, Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing_model import (
+    CLASS_NAMES,
+    SS_JUMBO,
+    SS_MEDIUM,
+    SS_TINY,
+    PackingAnalyzeModel,
+    build_colocation_dataset,
+    label_for_speed,
+)
+from repro.workloads import InterferenceModel, ResourceProfile
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return PackingAnalyzeModel().fit(InterferenceModel())
+
+
+class TestLabeling:
+    def test_thresholds(self):
+        assert label_for_speed(0.97, 0.95, 0.85) == SS_TINY
+        assert label_for_speed(0.95, 0.95, 0.85) == SS_TINY
+        assert label_for_speed(0.90, 0.95, 0.85) == SS_MEDIUM
+        assert label_for_speed(0.80, 0.95, 0.85) == SS_JUMBO
+
+    def test_dataset_covers_all_classes(self, interference):
+        X, y, configs = build_colocation_dataset(interference)
+        assert X.shape[1] == 4
+        assert set(np.unique(y)) == {SS_TINY, SS_MEDIUM, SS_JUMBO}
+        # n_replicas noisy rows per configuration
+        assert len(y) == len(X)
+        assert len(y) % len(configs) == 0
+
+
+class TestModel:
+    def test_training_accuracy(self, fitted):
+        """DT achieves high accuracy on this task (paper reports 94.1%)."""
+        assert fitted.train_accuracy_ > 0.85
+
+    def test_rl_job_is_tiny(self, fitted):
+        ppo = ResourceProfile(9.0, 4.0, 900.0, False)
+        assert fitted.sharing_score(ppo) == SS_TINY
+
+    def test_imagenet_resnet_is_jumbo(self, fitted):
+        heavy = ResourceProfile(95.0, 70.0, 18_000.0, False)
+        assert fitted.sharing_score(heavy) == SS_JUMBO
+
+    def test_scores_monotone_in_utilization(self, fitted):
+        scores = [fitted.sharing_score(
+            ResourceProfile(u, u * 0.65, 3000.0 + u * 100.0, False))
+                  for u in (10.0, 50.0, 95.0)]
+        assert scores[0] <= scores[1] <= scores[2]
+        assert scores[0] == SS_TINY
+        assert scores[2] == SS_JUMBO
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PackingAnalyzeModel(tiny_threshold=0.8, medium_threshold=0.9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PackingAnalyzeModel().sharing_score(
+                ResourceProfile(10, 10, 100, False))
+
+
+class TestInterpretation:
+    def test_tree_text_mentions_gpu_util(self, fitted):
+        text = fitted.explain_text()
+        assert "gpu_util" in text
+        assert any(name in text for name in CLASS_NAMES)
+
+    def test_gpu_util_is_dominant_feature(self, fitted):
+        """Figure 6: U_G affects colocation behaviour most."""
+        importances = fitted.feature_importances()
+        assert importances[0][0] in ("gpu_util", "gpu_mem_util")
+        assert dict(importances)["gpu_util"] > 0.3
+
+    def test_decision_path_readable(self, fitted):
+        path = fitted.decision_path(ResourceProfile(50.0, 30.0, 4000.0, False))
+        assert path
+        assert all(("<=" in step or ">" in step) for step in path)
+
+    def test_pruned_tree_is_compact(self, fitted):
+        assert fitted.tree_.n_leaves_ <= 20

@@ -1,0 +1,103 @@
+"""Tests for consolidated and shared placement."""
+
+import pytest
+
+from repro.cluster import Cluster, find_consolidated, find_shared
+from repro.cluster.placement import free_gpu_fragmentation
+
+
+@pytest.fixture
+def cluster():
+    return Cluster({"vc1": 3, "vc2": 1})
+
+
+def occupy(cluster, node_idx, count, job_id=1000):
+    node = cluster.nodes[node_idx]
+    for gpu in node.gpus[:count]:
+        gpu.attach(job_id, 100)
+
+
+class TestConsolidated:
+    def test_single_gpu(self, cluster):
+        gpus = find_consolidated(cluster, 1)
+        assert gpus is not None and len(gpus) == 1
+
+    def test_best_fit_prefers_fuller_node(self, cluster):
+        occupy(cluster, 0, 6)  # node 0 has 2 free
+        gpus = find_consolidated(cluster, 2, vc="vc1")
+        assert gpus is not None
+        assert all(g.node_id == 0 for g in gpus)  # best fit, not node 1
+
+    def test_single_node_request_never_spans_nodes(self, cluster):
+        occupy(cluster, 0, 4)
+        occupy(cluster, 1, 4)
+        occupy(cluster, 2, 4)
+        # 12 GPUs free total but only 4 per node.
+        assert find_consolidated(cluster, 8, vc="vc1") is None
+        gpus = find_consolidated(cluster, 4, vc="vc1")
+        assert len({g.node_id for g in gpus}) == 1
+
+    def test_multi_node_takes_full_nodes(self, cluster):
+        gpus = find_consolidated(cluster, 16, vc="vc1")
+        assert gpus is not None and len(gpus) == 16
+        assert len({g.node_id for g in gpus}) == 2
+
+    def test_multi_node_with_remainder(self, cluster):
+        gpus = find_consolidated(cluster, 20, vc="vc1")
+        assert gpus is not None and len(gpus) == 20
+        assert len({g.node_id for g in gpus}) == 3
+
+    def test_multi_node_fails_without_empty_nodes(self, cluster):
+        for i in range(3):
+            occupy(cluster, i, 1)
+        assert find_consolidated(cluster, 16, vc="vc1") is None
+
+    def test_vc_isolation(self, cluster):
+        assert find_consolidated(cluster, 16, vc="vc2") is None
+        assert find_consolidated(cluster, 8, vc="vc2") is not None
+
+    def test_exhausted_cluster(self, cluster):
+        for i in range(4):
+            occupy(cluster, i, 8)
+        assert find_consolidated(cluster, 1) is None
+
+
+class TestShared:
+    def test_join_mate_gpus(self, cluster):
+        occupy(cluster, 0, 2, job_id=7)
+        mate_gpus = cluster.nodes[0].gpus[:2]
+        gpus = find_shared(cluster, mate_gpus, memory_mb=500)
+        assert gpus == list(mate_gpus)
+
+    def test_oom_blocks_sharing(self, cluster):
+        node = cluster.nodes[0]
+        node.gpus[0].attach(7, node.gpus[0].memory_mb - 100)
+        assert find_shared(cluster, [node.gpus[0]], memory_mb=500) is None
+
+    def test_full_gpu_blocks_sharing(self, cluster):
+        node = cluster.nodes[0]
+        node.gpus[0].attach(7, 100)
+        node.gpus[0].attach(8, 100)
+        assert find_shared(cluster, [node.gpus[0]], memory_mb=100) is None
+
+
+class TestFragmentation:
+    def test_empty_cluster_no_fragmentation(self, cluster):
+        assert free_gpu_fragmentation(cluster) == pytest.approx(1 - 8 / 32)
+
+    def test_fully_busy(self, cluster):
+        for i in range(4):
+            occupy(cluster, i, 8)
+        assert free_gpu_fragmentation(cluster) == 0.0
+
+    def test_scattered_worse_than_consolidated(self):
+        scattered = Cluster({"a": 4})
+        for i in range(4):
+            for gpu in scattered.nodes[i].gpus[:6]:
+                gpu.attach(1, 100)
+        consolidated = Cluster({"a": 4})
+        for i in range(3):
+            for gpu in consolidated.nodes[i].gpus:
+                gpu.attach(1, 100)
+        assert (free_gpu_fragmentation(scattered)
+                > free_gpu_fragmentation(consolidated))

@@ -1,0 +1,88 @@
+"""Tests for the Pollux-style elastic scheduler (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers.pollux import (
+    PolluxSimulator,
+    elastic_speedup,
+    validation_accuracy,
+)
+
+from conftest import make_job
+
+
+class TestSpeedupCurve:
+    def test_full_allocation_is_unit(self):
+        assert elastic_speedup(4, 4) == pytest.approx(1.0)
+
+    def test_sublinear_below_request(self):
+        assert 0.4 < elastic_speedup(2, 4) < 0.6
+
+    def test_diminishing_above_request(self):
+        gain1 = elastic_speedup(8, 4) - elastic_speedup(4, 4)
+        gain2 = elastic_speedup(16, 4) - elastic_speedup(8, 4)
+        assert gain1 > gain2 > 0
+
+    def test_capped(self):
+        assert elastic_speedup(1024, 1) == pytest.approx(1.6)
+
+    def test_zero_allocation(self):
+        assert elastic_speedup(0, 4) == 0.0
+
+
+class TestSimulator:
+    def test_single_job_with_adaptive_speedup(self):
+        sim = PolluxSimulator(n_gpus=8, adaptive=True)
+        result = sim.run([make_job(1, duration=1000.0, gpu_num=4)])
+        # Elastic over-allocation + adaptive batch scaling beat 1000 s.
+        assert result.records[0].jct < 1000.0
+
+    def test_non_adaptive_slower(self):
+        jobs = lambda: [make_job(i, duration=2000.0, gpu_num=4,
+                                 submit_time=i * 10.0) for i in range(1, 7)]
+        fast = PolluxSimulator(n_gpus=16, adaptive=True).run(jobs())
+        slow = PolluxSimulator(n_gpus=16, adaptive=False).run(jobs())
+        assert fast.avg_jct < slow.avg_jct
+
+    def test_all_jobs_finish(self):
+        jobs = [make_job(i, duration=300.0 * i, gpu_num=1 + i % 4,
+                         submit_time=i * 50.0) for i in range(1, 21)]
+        result = PolluxSimulator(n_gpus=8).run(jobs)
+        assert result.n_jobs == 20
+        assert all(r.jct > 0 for r in result.records)
+
+    def test_contention_increases_jct(self):
+        def jobs():
+            return [make_job(i, duration=1000.0, gpu_num=4, submit_time=0.0)
+                    for i in range(1, 9)]
+        light = PolluxSimulator(n_gpus=64).run(jobs())
+        heavy = PolluxSimulator(n_gpus=8).run(jobs())
+        assert heavy.avg_jct > light.avg_jct
+
+    def test_decision_latency_superlinear(self):
+        sim = PolluxSimulator(n_gpus=8)
+        assert sim.decision_latency(320) > 2 * sim.decision_latency(160)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolluxSimulator(n_gpus=0)
+
+
+class TestAccuracyModel:
+    def test_adaptive_gap_matches_paper(self):
+        """Figure 14b: 89.84% vs 87.63% best validation accuracy."""
+        normal = validation_accuracy(200, adaptive=False)
+        adaptive = validation_accuracy(200, adaptive=True)
+        assert normal.max() == pytest.approx(89.84, abs=0.5)
+        assert adaptive.max() == pytest.approx(87.63, abs=0.5)
+        assert normal.max() - adaptive.max() > 1.5
+
+    def test_curves_saturate(self):
+        curve = validation_accuracy(200, adaptive=False)
+        assert curve[-1] - curve[150] < 1.5
+        assert curve[50] > curve[5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            validation_accuracy(0, adaptive=False)

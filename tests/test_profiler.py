@@ -1,0 +1,159 @@
+"""Tests for the Non-intrusive Job Profiler (§3.2, Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.profiler import NonIntrusiveProfiler
+from repro.schedulers.base import Scheduler
+from repro.sim import Simulator
+
+from conftest import make_job
+
+
+class ProfilerOnlyScheduler(Scheduler):
+    """Routes everything through a profiler; evicted jobs are dropped into
+    an ordinary greedy exclusive queue."""
+
+    def __init__(self, profiler):
+        super().__init__()
+        self.profiler = profiler
+        self.evicted = []
+
+    def on_job_submit(self, job, now):
+        if self.profiler.wants(job):
+            self.profiler.enqueue(job)
+        else:
+            self.queue.append(job)
+
+    def on_time_limit(self, job, now):
+        job.measured_profile = self.profiler.measure(job)
+        self.engine.stop_job(job)
+        job.progress = 0.0
+        self.evicted.append(job.job_id)
+        self.queue.append(job)
+
+    def schedule(self, now):
+        self.profiler.allocate(self.engine)
+        for job in list(self.queue):
+            if self.try_place_exclusive(job):
+                self.queue.remove(job)
+
+
+def run(jobs, profiler):
+    cluster = Cluster.homogeneous(2, vc_name="vc1")
+    scheduler = ProfilerOnlyScheduler(profiler)
+    result = Simulator(cluster, jobs, scheduler).run()
+    return result, scheduler
+
+
+class TestRouting:
+    def test_scale_limit(self, rng):
+        profiler = NonIntrusiveProfiler(rng=rng, n_prof=8)
+        assert profiler.wants(make_job(1, gpu_num=1))
+        assert profiler.wants(make_job(2, gpu_num=8))
+        assert not profiler.wants(make_job(3, gpu_num=16))
+
+    def test_n_prof_bounded_by_node(self):
+        with pytest.raises(ValueError):
+            NonIntrusiveProfiler(n_prof=16)
+        with pytest.raises(ValueError):
+            NonIntrusiveProfiler(base_nodes=0)
+
+
+class TestFiltering:
+    def test_short_jobs_finish_in_profiler(self, rng):
+        profiler = NonIntrusiveProfiler(base_nodes=1, t_prof=200.0, rng=rng)
+        jobs = [make_job(i, duration=50.0, submit_time=0.0) for i in range(1, 5)]
+        result, sched = run(jobs, profiler)
+        assert result.profiler_finish_rate() == 1.0
+        assert sched.evicted == []
+
+    def test_long_jobs_evicted_and_measured(self, rng):
+        profiler = NonIntrusiveProfiler(base_nodes=1, t_prof=100.0, rng=rng)
+        jobs = [make_job(1, duration=1000.0)]
+        result, sched = run(jobs, profiler)
+        assert sched.evicted == [1]
+        record = result.records[0]
+        assert not record.finished_in_profiler
+        # Restarted after 100 s of profiling: JCT ~ 1100 s.
+        assert record.jct == pytest.approx(1100.0, abs=5.0)
+        assert record.profile is not None
+
+    def test_measurement_noisy_but_close(self, rng):
+        profiler = NonIntrusiveProfiler(rng=rng)
+        job = make_job(1, gpu_util=50.0)
+        measured = profiler.measure(job)
+        assert measured.gpu_util == pytest.approx(50.0, rel=0.3)
+        assert measured.gpu_util != 50.0
+
+
+class TestSpaceAware:
+    def test_least_gpu_first(self, rng):
+        """Algorithm 1: small jobs profile ahead of the big blocked job."""
+        profiler = NonIntrusiveProfiler(base_nodes=1, t_prof=300.0,
+                                        space_aware=True, rng=rng)
+        jobs = [make_job(1, duration=50.0, gpu_num=8, submit_time=0.0),
+                make_job(2, duration=50.0, gpu_num=8, submit_time=1.0)] + [
+            make_job(10 + i, duration=50.0, gpu_num=1, submit_time=2.0)
+            for i in range(8)
+        ]
+        result, _ = run(jobs, profiler)
+        small = [r for r in result.records if r.gpu_num == 1]
+        big = [r for r in result.records if r.gpu_num == 8]
+        # Smalls profile in the first batch alongside one 8-GPU job at most;
+        # the second 8-GPU job waits behind them.
+        assert max(r.queue_delay for r in small) <= min(60.0, max(
+            r.queue_delay for r in big) + 60.0)
+
+    def test_naive_fifo_blocks_small_jobs(self, rng):
+        """Without space-awareness, a big head job blocks the 1-GPU queue."""
+        def build(space_aware):
+            return NonIntrusiveProfiler(base_nodes=1, t_prof=300.0,
+                                        space_aware=space_aware,
+                                        rng=np.random.default_rng(0))
+
+        jobs_spec = (
+            [make_job(1, duration=299.0, gpu_num=8, submit_time=0.0),
+             make_job(2, duration=299.0, gpu_num=8, submit_time=1.0)]
+            + [make_job(10 + i, duration=30.0, gpu_num=1, submit_time=2.0)
+               for i in range(8)]
+        )
+
+        def avg_small_queue(space_aware):
+            jobs = [make_job(j.job_id, duration=j.duration, gpu_num=j.gpu_num,
+                             submit_time=j.submit_time) for j in jobs_spec]
+            result, _ = run(jobs, build(space_aware))
+            return np.mean([r.queue_delay for r in result.records
+                            if r.gpu_num == 1])
+
+        assert avg_small_queue(True) < avg_small_queue(False)
+
+
+class TestTimeAwareScaling:
+    def test_scale_up_and_down(self, rng):
+        profiler = NonIntrusiveProfiler(base_nodes=2, max_borrowed_nodes=2,
+                                        t_prof=200.0, rng=rng)
+        assert profiler.capacity_gpus == 16
+        profiler.scale_up()
+        assert profiler.capacity_gpus == 32
+        assert profiler.t_prof == 100.0
+        assert profiler.scaled_up
+        profiler.scale_down()
+        assert profiler.capacity_gpus == 16
+        assert profiler.t_prof == 200.0
+
+    def test_scale_down_keeps_busy_nodes(self, rng):
+        profiler = NonIntrusiveProfiler(base_nodes=1, max_borrowed_nodes=1,
+                                        rng=rng)
+        profiler.scale_up()
+        # Occupy a GPU on the borrowed node.
+        profiler.cluster.nodes[1].gpus[0].attach(7, 100.0)
+        profiler.scale_down()
+        assert profiler.active_nodes == 2  # cannot shed the busy node yet
+
+    def test_pending_demand(self, rng):
+        profiler = NonIntrusiveProfiler(rng=rng)
+        profiler.enqueue(make_job(1, gpu_num=2))
+        profiler.enqueue(make_job(2, gpu_num=4))
+        assert profiler.pending_demand_gpus() == 6

@@ -1,0 +1,105 @@
+"""Tests for report formatting and the event queue."""
+
+import pytest
+
+from repro.analysis.report import (
+    ascii_table,
+    cdf_summary,
+    comparison_table,
+    format_cell,
+)
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159) == "3.14"
+        assert format_cell(3.14159, precision=4) == "3.1416"
+
+    def test_large_float_grouping(self):
+        assert format_cell(123456.7) == "123,457"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_string_and_int(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        table = ascii_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # uniform width
+
+    def test_title(self):
+        table = ascii_table(["x"], [[1]], title="Title")
+        assert table.splitlines()[0] == "Title"
+
+    def test_empty_rows(self):
+        table = ascii_table(["x", "y"], [])
+        assert "x" in table and "y" in table
+
+
+class TestComparisonTable:
+    def test_normalization(self):
+        paper = {"a": 10.0, "b": 20.0}
+        measured = {"a": 1.0, "b": 3.0}
+        table = comparison_table("m", paper, measured)
+        assert "2.00" in table  # paper b/best
+        assert "3.00" in table  # measured b/best
+
+    def test_zero_best_guarded(self):
+        paper = {"a": 0.0, "b": 1.0}
+        measured = {"a": 0.0, "b": 1.0}
+        table = comparison_table("m", paper, measured)
+        assert "-" in table  # ratios suppressed, no division explosion
+
+    def test_key_intersection(self):
+        table = comparison_table("m", {"a": 1.0, "zzz": 2.0}, {"a": 1.0})
+        assert "zzz" not in table
+
+
+class TestCdfSummary:
+    def test_sampling(self):
+        xs = [1.0, 2.0, 3.0]
+        cdf = [0.1, 0.5, 1.0]
+        out = cdf_summary(xs, cdf, [2.5, 3.0])
+        assert out[2.5] == 0.5
+        assert out[3.0] == 1.0
+
+
+class TestEventQueue:
+    def test_ordering_by_time(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.TICK)
+        q.push(1.0, EventKind.SUBMIT, job_id=1)
+        q.push(3.0, EventKind.FINISH, job_id=2)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_fifo_tiebreak(self):
+        q = EventQueue()
+        first = q.push(1.0, EventKind.SUBMIT, job_id=1)
+        second = q.push(1.0, EventKind.SUBMIT, job_id=2)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, EventKind.TICK)
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.TICK)
+        assert q

@@ -1,0 +1,164 @@
+"""Tests for trace CSV import/export."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces import TraceGenerator, VENUS
+from repro.traces.io import (
+    TraceParseError,
+    read_trace_csv,
+    split_history,
+    write_native_csv,
+)
+
+from conftest import make_job
+
+
+class TestNativeRoundTrip:
+    def test_roundtrip_preserves_everything(self):
+        jobs = TraceGenerator(VENUS.with_jobs(50)).generate()
+        buffer = io.StringIO()
+        count = write_native_csv(jobs, buffer)
+        assert count == 50
+        buffer.seek(0)
+        back = read_trace_csv(buffer, dialect="native")
+        assert len(back) == 50
+        for a, b in zip(jobs, back):
+            assert a.job_id == b.job_id
+            assert a.name == b.name
+            assert a.user == b.user
+            assert a.vc == b.vc
+            assert a.duration == pytest.approx(b.duration, abs=1e-3)
+            assert a.gpu_num == b.gpu_num
+            assert a.profile.gpu_util == pytest.approx(
+                b.profile.gpu_util, abs=1e-3)
+            assert a.amp == b.amp
+            assert a.template_id == b.template_id
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = [make_job(1), make_job(2, duration=50.0)]
+        path = tmp_path / "trace.csv"
+        write_native_csv(jobs, path)
+        back = read_trace_csv(path)
+        assert [j.job_id for j in back] == [1, 2]
+
+
+HELIOS_CSV = """\
+job_id,user,vc,job_name,gpu_num,state,submit_time,duration
+job-001,alice,vcA,train_resnet,4,COMPLETED,1000,3600
+job-002,bob,vcB,train_bert,8,FAILED,2000,120
+job-003,carol,vcA,sweep_lr,1,RUNNING,3000,
+job-004,dave,vcB,train_gan,2,CANCELLED,4000,900
+"""
+
+PHILLY_CSV = """\
+jobid,user,vc,jobname,num_gpus,status,submitted_time,run_time
+application_1001,u1,philly,exp1,1,Pass,0,600
+application_1002,u2,philly,exp2,16,Killed,500,7200
+application_1003,u3,philly,exp3,4,Running,900,
+application_1004,u4,philly,exp4,2,Failed,1200,60
+"""
+
+
+class TestExternalDialects:
+    def test_helios_parsing(self):
+        jobs = read_trace_csv(io.StringIO(HELIOS_CSV), dialect="helios")
+        # Running job (no duration) is skipped; completed/failed/cancelled
+        # rows are kept (they consumed resources).
+        assert len(jobs) == 3
+        first = jobs[0]
+        assert first.user == "alice"
+        assert first.vc == "vcA"
+        assert first.gpu_num == 4
+        assert first.duration == 3600.0
+        assert first.profile is not None
+
+    def test_philly_parsing(self):
+        jobs = read_trace_csv(io.StringIO(PHILLY_CSV), dialect="philly")
+        assert len(jobs) == 3
+        assert jobs[0].name == "exp1"
+        assert jobs[1].gpu_num == 16
+
+    def test_auto_sniffing(self):
+        assert len(read_trace_csv(io.StringIO(HELIOS_CSV))) == 3
+        assert len(read_trace_csv(io.StringIO(PHILLY_CSV))) == 3
+
+    def test_epoch_normalized(self):
+        jobs = read_trace_csv(io.StringIO(HELIOS_CSV))
+        assert jobs[0].submit_time == 0.0
+        assert jobs[-1].submit_time > 0.0
+
+    def test_max_jobs_cap(self):
+        jobs = read_trace_csv(io.StringIO(PHILLY_CSV), max_jobs=1)
+        assert len(jobs) == 1
+
+    def test_profile_assignment_deterministic(self):
+        a = read_trace_csv(io.StringIO(HELIOS_CSV), seed=3)
+        b = read_trace_csv(io.StringIO(HELIOS_CSV), seed=3)
+        assert [j.profile.gpu_util for j in a] == \
+            [j.profile.gpu_util for j in b]
+
+    def test_heavy_jobs_skew_heavy_profiles(self):
+        rows = ["job_id,user,vc,job_name,gpu_num,state,submit_time,duration"]
+        for i in range(300):
+            rows.append(f"h{i},u,v,big,8,COMPLETED,{i},100000")
+        for i in range(300):
+            rows.append(f"l{i},u,v,small,1,COMPLETED,{i},60")
+        jobs = read_trace_csv(io.StringIO("\n".join(rows)))
+        heavy = np.mean([j.profile.gpu_util for j in jobs
+                         if j.duration > 1000])
+        light = np.mean([j.profile.gpu_util for j in jobs
+                         if j.duration <= 1000])
+        assert heavy > light
+
+
+class TestErrors:
+    def test_empty_file(self):
+        with pytest.raises(TraceParseError):
+            read_trace_csv(io.StringIO(""))
+
+    def test_unknown_dialect(self):
+        with pytest.raises(TraceParseError):
+            read_trace_csv(io.StringIO(HELIOS_CSV), dialect="slurm")
+
+    def test_unsniffable_header(self):
+        with pytest.raises(TraceParseError, match="sniff"):
+            read_trace_csv(io.StringIO("a,b,c\n1,2,3\n"))
+
+
+class TestSplitHistory:
+    def test_chronological_split(self):
+        jobs = [make_job(i, submit_time=float(i * 100)) for i in range(1, 11)]
+        history, evaluation = split_history(jobs, fraction=0.3)
+        assert len(history) == 3
+        assert len(evaluation) == 7
+        # Evaluation starts at t=0; history is strictly in the past.
+        assert evaluation[0].submit_time == 0.0
+        assert all(j.submit_time < 0 for j in history)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            split_history([make_job(1)], fraction=1.5)
+
+    def test_imported_trace_drives_simulation(self):
+        """End-to-end: import an external CSV and schedule it with Lucid."""
+        import io as _io
+        rows = ["jobid,user,vc,jobname,num_gpus,status,submitted_time,run_time"]
+        rng = np.random.default_rng(0)
+        for i in range(300):
+            rows.append(
+                f"app_{i},u{i % 7},default,exp{i % 9},"
+                f"{int(rng.choice([1, 1, 2, 4]))},Pass,"
+                f"{i * 60},{int(rng.uniform(60, 4000))}")
+        jobs = read_trace_csv(_io.StringIO("\n".join(rows)))
+        history, evaluation = split_history(jobs, fraction=0.5)
+        # History durations play the role of realized runtimes.
+        from repro import Simulator
+        from repro.cluster import Cluster
+        from repro.core import LucidScheduler
+        cluster = Cluster.homogeneous(4, vc_name="default")
+        result = Simulator(cluster, evaluation,
+                           LucidScheduler(history)).run()
+        assert result.n_jobs == len(evaluation)

@@ -1,0 +1,183 @@
+"""Tests for trace specs and the synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    PHILLY,
+    SATURN,
+    VENUS,
+    TraceGenerator,
+    TraceSpec,
+    get_spec,
+    mean_utilization,
+    utilization_cdf,
+    utilization_variants,
+)
+from repro.workloads import JobStatus
+
+
+class TestSpec:
+    def test_presets_exist(self):
+        assert get_spec("venus") is VENUS
+        assert get_spec("SATURN") is SATURN
+        assert get_spec("philly") is PHILLY
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("azure")
+
+    def test_table2_identity(self):
+        assert VENUS.n_vcs == 15
+        assert SATURN.n_vcs == 20
+        assert PHILLY.n_vcs == 1
+        assert VENUS.full_n_jobs == 23_859
+        assert SATURN.full_n_jobs == 101_254
+        assert PHILLY.full_n_jobs == 12_389
+        assert VENUS.mean_duration == 5_419.0
+        assert SATURN.mean_duration == 13_006.0
+        assert PHILLY.mean_duration == 25_533.0
+
+    def test_scaled(self):
+        spec = VENUS.scaled(0.1)
+        assert spec.n_jobs == int(VENUS.full_n_jobs * 0.1)
+        with pytest.raises(ValueError):
+            VENUS.scaled(0)
+
+    def test_with_helpers(self):
+        assert VENUS.with_seed(7).seed == 7
+        assert VENUS.with_jobs(10).n_jobs == 10
+        assert VENUS.with_utilization("H").utilization == "H"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec("x", n_nodes=2, n_vcs=5, n_jobs=10, full_n_jobs=10,
+                      mean_duration=100, span_days=1, n_users=3)
+        with pytest.raises(ValueError):
+            VENUS.with_utilization("X")
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def trace(self, request):
+        spec = VENUS.with_jobs(800)
+        gen = TraceGenerator(spec)
+        return spec, gen, gen.build_cluster(), gen.generate()
+
+    def test_job_count_and_sorting(self, trace):
+        spec, gen, cluster, jobs = trace
+        assert len(jobs) == 800
+        times = [j.submit_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_unique_ids(self, trace):
+        _, _, _, jobs = trace
+        assert len({j.job_id for j in jobs}) == len(jobs)
+
+    def test_cluster_matches_spec(self, trace):
+        spec, _, cluster, _ = trace
+        assert cluster.n_gpus == spec.n_gpus
+        assert len(cluster.vcs) == spec.n_vcs
+
+    def test_small_job_dominance(self, trace):
+        """>= 95% of jobs fit within one node (§2.2)."""
+        _, _, _, jobs = trace
+        small = np.mean([j.gpu_num <= 8 for j in jobs])
+        assert small >= 0.93
+
+    def test_jobs_fit_their_vc(self, trace):
+        _, _, cluster, jobs = trace
+        for job in jobs:
+            assert job.gpu_num <= cluster.vc(job.vc).n_gpus
+
+    def test_recurrence(self, trace):
+        """Most submissions re-run an existing template (§2.3)."""
+        _, _, _, jobs = trace
+        from collections import Counter
+        counts = Counter(j.template_id for j in jobs)
+        recurring = sum(c for c in counts.values() if c > 1)
+        assert recurring / len(jobs) > 0.6
+
+    def test_duration_mean_near_target(self):
+        spec = VENUS.with_jobs(4000)
+        jobs = TraceGenerator(spec).generate()
+        mean = np.mean([j.duration for j in jobs])
+        assert 0.5 * spec.mean_duration < mean < 1.8 * spec.mean_duration
+
+    def test_diurnal_pattern(self):
+        spec = VENUS.with_jobs(5000)
+        jobs = TraceGenerator(spec).generate()
+        hours = np.array([(j.submit_time % 86_400) // 3600 for j in jobs])
+        day = np.sum((hours >= 10) & (hours < 18))
+        night = np.sum((hours >= 0) & (hours < 8))
+        assert day > 1.5 * night
+
+    def test_determinism(self):
+        spec = VENUS.with_jobs(200)
+        a = TraceGenerator(spec).generate()
+        b = TraceGenerator(spec).generate()
+        assert [(j.name, j.submit_time, j.duration) for j in a] == \
+               [(j.name, j.submit_time, j.duration) for j in b]
+
+    def test_seed_changes_trace(self):
+        a = TraceGenerator(VENUS.with_jobs(200)).generate()
+        b = TraceGenerator(VENUS.with_jobs(200).with_seed(77)).generate()
+        assert [j.duration for j in a] != [j.duration for j in b]
+
+    def test_history_precedes_evaluation(self, tiny_generator):
+        history = tiny_generator.generate_history(1.0)
+        jobs = tiny_generator.generate()
+        assert max(j.submit_time for j in history) <= 0.0
+        assert min(j.submit_time for j in jobs) >= 0.0
+
+    def test_history_shares_templates(self, tiny_generator):
+        history = tiny_generator.generate_history(2.0)
+        jobs = tiny_generator.generate()
+        hist_names = {j.name for j in history}
+        overlap = sum(1 for j in jobs if j.name in hist_names)
+        assert overlap / len(jobs) > 0.5
+
+
+class TestUtilizationVariants:
+    def test_three_variants(self):
+        variants = utilization_variants(VENUS)
+        assert set(variants) == {"L", "M", "H"}
+
+    def test_ordering_l_m_h(self):
+        """Figure 12a: Venus-L lighter than Venus-M lighter than Venus-H."""
+        means = {}
+        for level, spec in utilization_variants(VENUS.with_jobs(1500)).items():
+            jobs = TraceGenerator(spec).generate()
+            means[level] = mean_utilization(jobs)
+        assert means["L"] < means["M"] < means["H"]
+
+    def test_cdf_shape(self):
+        jobs = TraceGenerator(VENUS.with_jobs(500)).generate()
+        xs, cdf = utilization_cdf(jobs)
+        assert cdf[0] <= cdf[-1] <= 1.0
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_cdf_empty(self):
+        xs, cdf = utilization_cdf([])
+        assert np.all(cdf == 0)
+
+    def test_mean_utilization_empty(self):
+        assert mean_utilization([]) == 0.0
+
+
+class TestPaperScalePresets:
+    def test_full_specs_match_table2(self):
+        from repro.traces import PHILLY_FULL, SATURN_FULL, VENUS_FULL
+        assert VENUS_FULL.n_jobs == 23_859
+        assert VENUS_FULL.n_gpus == 1_080
+        assert SATURN_FULL.n_jobs == 101_254
+        assert SATURN_FULL.n_gpus == 2_080
+        assert PHILLY_FULL.n_jobs == 12_389
+        assert PHILLY_FULL.n_gpus == 864
+
+    def test_paper_scale_generation_works(self):
+        """Generating (not simulating) a paper-scale trace is feasible."""
+        from repro.traces import VENUS_FULL
+        jobs = TraceGenerator(VENUS_FULL.with_jobs(5000)).generate()
+        assert len(jobs) == 5000
+        assert np.mean([j.gpu_num <= 8 for j in jobs]) > 0.9

@@ -1,0 +1,163 @@
+"""Tests for CART trees and minimal cost-complexity pruning."""
+
+import numpy as np
+import pytest
+
+from repro.models.metrics import accuracy, r2_score
+from repro.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture
+def classification_data(rng):
+    X = rng.normal(size=(400, 3))
+    y = ((X[:, 0] > 0) & (X[:, 1] > -0.5)).astype(int)
+    return X, y
+
+
+@pytest.fixture
+def regression_data(rng):
+    X = rng.uniform(-2, 2, size=(400, 3))
+    y = np.where(X[:, 0] > 0, 5.0, -5.0) + 0.5 * X[:, 1]
+    return X, y
+
+
+class TestClassifier:
+    def test_fits_axis_aligned_concept(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.95
+
+    def test_predict_proba_sums_to_one(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probs = tree.predict_proba(X[:20])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_multiclass(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])  # 3 classes
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert accuracy(y, tree.predict(X)) > 0.95
+        assert set(tree.predict(X)) <= {0, 1, 2}
+
+    def test_string_labels(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = np.where(X[:, 0] > 0, "pos", "neg")
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert set(tree.predict(X)) <= {"pos", "neg"}
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_max_depth_respected(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert tree.depth_ <= 2
+
+    def test_min_samples_leaf(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        assert all(leaf.n >= 50 for leaf in tree.root_.leaves())
+
+    def test_decision_path(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        path = tree.decision_path(X[0])
+        assert 1 <= len(path) <= 3
+        for feature, threshold, went_left in path:
+            assert 0 <= feature < 3
+            assert isinstance(went_left, bool)
+
+    def test_to_text_renders(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        text = tree.to_text(feature_names=["a", "b", "c"],
+                            class_names=["no", "yes"])
+        assert "if a <=" in text or "if b <=" in text
+        assert "class" in text
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            DecisionTreeClassifier().predict([[1.0]])
+
+
+class TestRegressor:
+    def test_fits_step_function(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        assert r2_score(y, tree.predict(X)) > 0.95
+
+    def test_constant_target(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = np.full(10, 3.3)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.predict([[5.0]])[0] == pytest.approx(3.3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestImportances:
+    def test_importances_sum_to_one(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        imps = tree.feature_importances()
+        assert imps.sum() == pytest.approx(1.0)
+
+    def test_informative_feature_dominates(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, y)
+        imps = tree.feature_importances()
+        assert np.argmax(imps) == 0
+        assert imps[0] > 0.7
+
+
+class TestPruning:
+    def test_pruning_shrinks_tree(self, classification_data, rng):
+        X, y = classification_data
+        noisy = y.copy()
+        flip = rng.random(len(y)) < 0.15
+        noisy[flip] = 1 - noisy[flip]
+        tree = DecisionTreeClassifier().fit(X, noisy)
+        before = tree.n_leaves_
+        tree.prune(ccp_alpha=0.01)
+        assert tree.n_leaves_ < before
+
+    def test_zero_alpha_keeps_tree(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        before = tree.n_leaves_
+        tree.prune(ccp_alpha=0.0)
+        assert tree.n_leaves_ == before
+
+    def test_huge_alpha_collapses_to_stump_or_leaf(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier().fit(X, y)
+        tree.prune(ccp_alpha=1.0)
+        assert tree.n_leaves_ == 1
+
+    def test_pruning_path_monotone(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier().fit(X, y)
+        alphas = tree.cost_complexity_pruning_path()
+        assert alphas[0] == 0.0
+        assert all(a <= b + 1e-12 for a, b in zip(alphas, alphas[1:]))
+
+    def test_pruned_tree_still_accurate(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier().fit(X, y)
+        tree.prune(ccp_alpha=0.005)
+        assert accuracy(y, tree.predict(X)) > 0.9
+
+    def test_negative_alpha_rejected(self, classification_data):
+        X, y = classification_data
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.prune(-0.1)
