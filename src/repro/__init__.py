@@ -77,8 +77,13 @@ def make_scheduler(name, history, **kwargs):
 
 
 def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
-                     seed=None, **scheduler_kwargs):
-    """Generate a trace, run one scheduler over it, return the results."""
+                     seed=None, tracer=None, **scheduler_kwargs):
+    """Generate a trace, run one scheduler over it, return the results.
+
+    Pass a :class:`repro.obs.RingBufferTracer` as ``tracer`` to collect
+    structured events, metrics and (for Lucid) a decision audit on the
+    returned result's ``telemetry`` field.
+    """
     spec = get_spec(trace)
     if n_jobs is not None:
         spec = spec.with_jobs(n_jobs)
@@ -89,4 +94,4 @@ def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
     history = generator.generate_history()
     jobs = generator.generate()
     sched = make_scheduler(scheduler, history, **scheduler_kwargs)
-    return Simulator(cluster, jobs, sched).run()
+    return Simulator(cluster, jobs, sched, tracer=tracer).run()

@@ -5,7 +5,11 @@ Commands
 simulate
     Generate a synthetic trace (or load a CSV) and replay it under one
     scheduler; prints the summary metrics and optionally exports per-job
-    records.
+    records.  ``--trace-out DIR`` additionally records full telemetry.
+trace
+    Replay a trace with the observability layer enabled and export the
+    structured event log (JSONL), the scheduler decision audit and a
+    Chrome trace-event timeline loadable in chrome://tracing / Perfetto.
 compare
     Run several schedulers over the same trace and print a Table-4-style
     comparison.
@@ -15,27 +19,42 @@ models
 packing
     Print the colocation characterization and Indolent Packing decisions
     (Figures 2/5).
+
+The global ``--log-level`` flag (before the command) controls the
+``repro.*`` logger tree, e.g. ``repro --log-level info simulate``.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from repro import Simulator, TraceGenerator, get_spec, make_scheduler
 from repro.analysis import ascii_table, user_fairness
+from repro.obs import (
+    LOG_LEVELS,
+    RingBufferTracer,
+    configure_logging,
+    get_logger,
+    write_chrome_trace,
+)
 from repro.sim import SimulationResult
 
 SCHEDULER_CHOICES = ("fifo", "sjf", "qssf", "horus", "tiresias", "lucid")
+
+logger = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Lucid (ASPLOS '23) reproduction toolkit")
+    parser.add_argument("--log-level", default="warning", choices=LOG_LEVELS,
+                        help="verbosity of the repro.* loggers")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="replay one trace/scheduler")
@@ -44,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=SCHEDULER_CHOICES)
     sim.add_argument("--export", metavar="CSV",
                      help="write per-job records to a CSV file")
+    sim.add_argument("--trace-out", metavar="DIR",
+                     help="enable telemetry and write events.jsonl, "
+                          "audit.jsonl and timeline.json to DIR")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="replay with telemetry and export event/audit/"
+                      "timeline artifacts")
+    _trace_args(trace_cmd)
+    trace_cmd.add_argument("--scheduler", default="lucid",
+                           choices=SCHEDULER_CHOICES)
+    trace_cmd.add_argument("--out", metavar="DIR", default="trace-out",
+                           help="output directory (default: trace-out)")
+    trace_cmd.add_argument("--explain", type=int, default=5, metavar="N",
+                           help="print the first N placement explanations")
 
     cmp_cmd = sub.add_parser("compare", help="compare schedulers")
     _trace_args(cmp_cmd)
@@ -118,14 +151,53 @@ _HEADERS = ["scheduler", "avg JCT (h)", "avg queue (h)", "p99.9 queue (h)",
             "GPU busy", "profiler finish", "user fairness", "sim time (s)"]
 
 
-def cmd_simulate(args) -> int:
+def _write_telemetry(out_dir: str, result: SimulationResult,
+                     tracer: RingBufferTracer) -> List[str]:
+    """Export telemetry artifacts; returns the files written."""
+    telemetry = result.telemetry
+    written = [os.path.join(out_dir, "events.jsonl")]
+    timeline_path = os.path.join(out_dir, "timeline.json")
+    write_chrome_trace(timeline_path, telemetry.events,
+                       queue_depth=telemetry.registry.gauge_series(
+                           "queue_depth"))
+    written.append(timeline_path)
+    if telemetry.audit is not None:
+        audit_path = os.path.join(out_dir, "audit.jsonl")
+        telemetry.audit.to_jsonl(audit_path)
+        written.append(audit_path)
+    return written
+
+
+def _run_traced(args, out_dir: str):
+    """Run one traced simulation and export its artifacts."""
+    os.makedirs(out_dir, exist_ok=True)
     cluster, history, jobs = _load(args)
     print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
-          f"({len(cluster.vcs)} VCs) under {args.scheduler}")
+          f"({len(cluster.vcs)} VCs) under {args.scheduler} [traced]")
     started = time.perf_counter()
-    result = Simulator(cluster, jobs,
-                       make_scheduler(args.scheduler, history)).run()
+    with RingBufferTracer(sink=os.path.join(out_dir,
+                                            "events.jsonl")) as tracer:
+        result = Simulator(cluster, jobs,
+                           make_scheduler(args.scheduler, history),
+                           tracer=tracer).run()
     elapsed = time.perf_counter() - started
+    written = _write_telemetry(out_dir, result, tracer)
+    for path in written:
+        print(f"wrote {path}")
+    return result, elapsed
+
+
+def cmd_simulate(args) -> int:
+    if args.trace_out:
+        result, elapsed = _run_traced(args, args.trace_out)
+    else:
+        cluster, history, jobs = _load(args)
+        print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
+              f"({len(cluster.vcs)} VCs) under {args.scheduler}")
+        started = time.perf_counter()
+        result = Simulator(cluster, jobs,
+                           make_scheduler(args.scheduler, history)).run()
+        elapsed = time.perf_counter() - started
     print(ascii_table(_HEADERS, [_summary_row(args.scheduler, result,
                                               elapsed)]))
     if args.export:
@@ -145,11 +217,39 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    result, _ = _run_traced(args, args.out)
+    telemetry = result.telemetry
+
+    counts = telemetry.counts_by_kind()
+    print(ascii_table(["event kind", "count"],
+                      [[kind, counts[kind]] for kind in sorted(counts)],
+                      title="Trace events"))
+    metric_rows = []
+    for name, value in telemetry.metrics.items():
+        if isinstance(value, dict):  # histogram summary
+            metric_rows.append([f"{name}.mean", value["mean"]])
+            metric_rows.append([f"{name}.p99", value["p99"]])
+        elif value is not None:
+            metric_rows.append([name, value])
+    print(ascii_table(["metric", "value"], metric_rows, title="Metrics"))
+
+    audit = telemetry.audit
+    if audit is not None and audit.records and args.explain > 0:
+        print("Placement decisions (first "
+              f"{min(args.explain, len(audit.records))} of "
+              f"{len(audit.records)}; packing rate "
+              f"{audit.packing_rate():.1%}):")
+        for decision in audit.records[:args.explain]:
+            print(f"  {decision.explain()}")
+    return 0
+
+
 def cmd_compare(args) -> int:
     names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
     for name in names:
         if name not in SCHEDULER_CHOICES:
-            print(f"unknown scheduler {name!r}", file=sys.stderr)
+            logger.error("unknown scheduler %r", name)
             return 2
     rows = []
     for name in names:
@@ -159,7 +259,8 @@ def cmd_compare(args) -> int:
                            make_scheduler(name, history)).run()
         rows.append(_summary_row(name, result,
                                  time.perf_counter() - started))
-        print(f"  {name}: done", file=sys.stderr)
+        logger.info("%s: done in %.1fs", name,
+                    time.perf_counter() - started)
     print(ascii_table(_HEADERS, rows, title="Scheduler comparison"))
     return 0
 
@@ -225,8 +326,10 @@ def cmd_packing(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     handlers = {
         "simulate": cmd_simulate,
+        "trace": cmd_trace,
         "compare": cmd_compare,
         "models": cmd_models,
         "packing": cmd_packing,

@@ -21,9 +21,10 @@ is nearly idle and no burst is forecast.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.placement import find_shared
+from repro.obs.audit import BinderVerdict, DecisionAudit
 from repro.workloads.job import Job, JobStatus
 
 
@@ -59,6 +60,10 @@ class AffineJobpairBinder:
         self.mode = PackingMode.DEFAULT if gss_capacity == 2 else PackingMode.APATHETIC
         self.min_mate_remaining = min_mate_remaining
         self._pass_index: Optional[dict] = None
+        #: Optional :class:`repro.obs.audit.DecisionAudit`; when set,
+        #: every mate search leaves a :class:`BinderVerdict` explaining
+        #: the accepted mate or the rejection-reason census.
+        self.audit: Optional[DecisionAudit] = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,19 +94,29 @@ class AffineJobpairBinder:
         interference) mate wins.
         """
         if not self.sharing_enabled:
-            return None
+            return self._verdict(job, None, rejections={"sharing_disabled": 1})
         if job.gpu_num > engine.cluster.gpus_per_node:
-            return None  # rule 5: never pack distributed jobs
+            # rule 5: never pack distributed jobs
+            return self._verdict(job, None, rejections={"job_distributed": 1})
         if job.sharing_score is None:
-            return None  # unprofiled jobs are never packed
+            # unprofiled jobs are never packed
+            return self._verdict(job, None, rejections={"job_unprofiled": 1})
         if self._pass_index is not None:
             candidates = self._pass_index.get((job.vc, job.gpu_num), [])
         else:
             candidates = engine.running_jobs()
         best: Optional[Job] = None
         best_key = None
+        rejections: Optional[Dict[str, int]] = (
+            {} if self.audit is not None else None)
+        n_candidates = 0
         for mate in candidates:
-            if not self._mate_ok(engine, job, mate, remaining_estimate):
+            n_candidates += 1
+            reason = self._reject_reason(engine, job, mate,
+                                         remaining_estimate)
+            if reason is not None:
+                if rejections is not None:
+                    rejections[reason] = rejections.get(reason, 0) + 1
                 continue
             key = (mate.sharing_score,
                    self._cpu_overload(engine, job, mate),
@@ -109,7 +124,24 @@ class AffineJobpairBinder:
             if best_key is None or key < best_key:
                 best_key = key
                 best = mate
-        return best
+        return self._verdict(job, best, rejections=rejections or {},
+                             candidates=n_candidates)
+
+    def _verdict(self, job: Job, mate: Optional[Job],
+                 rejections: Dict[str, int],
+                 candidates: int = 0) -> Optional[Job]:
+        """Record the search outcome in the audit (when enabled)."""
+        if self.audit is not None:
+            self.audit.note_binder(BinderVerdict(
+                job_id=job.job_id,
+                mate_id=mate.job_id if mate is not None else None,
+                mode=self.mode.name,
+                gss_capacity=self.gss_capacity,
+                job_score=job.sharing_score,
+                mate_score=mate.sharing_score if mate is not None else None,
+                candidates=candidates,
+                rejections=rejections))
+        return mate
 
     @staticmethod
     def _cpu_overload(engine, job: Job, mate: Job) -> float:
@@ -152,26 +184,37 @@ class AffineJobpairBinder:
 
     def _mate_ok(self, engine, job: Job, mate: Job,
                  remaining_estimate: Callable[[Job], float]) -> bool:
+        return self._reject_reason(engine, job, mate,
+                                   remaining_estimate) is None
+
+    def _reject_reason(self, engine, job: Job, mate: Job,
+                       remaining_estimate: Callable[[Job], float]
+                       ) -> Optional[str]:
+        """Why ``mate`` cannot host ``job``; ``None`` when it can.
+
+        The reason strings feed the audit's rejection census, so they are
+        stable identifiers, not prose.
+        """
         if mate.job_id == job.job_id or mate.status is not JobStatus.RUNNING:
-            return False
+            return "not_running"
         if mate.vc != job.vc:
-            return False
+            return "different_vc"
         if mate.gpu_num != job.gpu_num:  # rule 2: equal demands only
-            return False
+            return "unequal_gpu_demand"
         if mate.gpu_num > engine.cluster.gpus_per_node:  # rule 5
-            return False
+            return "mate_distributed"
         if mate.sharing_score is None:
-            return False
+            return "mate_unprofiled"
         if engine.mates_of(mate):  # rule 3: at most two per GPU set
-            return False
+            return "has_mate"
         if mate.sharing_score + job.sharing_score > self.gss_capacity:
-            return False  # Indolent Packing GSS budget
+            return "gss_budget"  # Indolent Packing GSS budget
         mate_left = remaining_estimate(mate)
         if mate_left < self.min_mate_remaining:
-            return False  # mate about to finish; packing buys nothing
+            return "mate_finishing"  # packing buys nothing
         gpus = find_shared(engine.cluster, engine.gpus_of(mate),
                            job.profile.gpu_mem_mb)  # rule 1: OOM guard
-        return gpus is not None
+        return None if gpus is not None else "memory"
 
     # ------------------------------------------------------------------
     def update_mode(self, load_level: float, forecast_level: float,

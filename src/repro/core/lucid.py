@@ -31,12 +31,16 @@ from repro.core.profiler import NonIntrusiveProfiler
 from repro.core.throughput import ThroughputPredictModel
 from repro.core.update_engine import UpdateEngine
 from repro.models.encoding import SECONDS_PER_HOUR, hourly_series
+from repro.obs.audit import DecisionAudit, PlacementDecision
+from repro.obs.logutil import get_logger
 from repro.schedulers.base import Scheduler
 from repro.workloads.colocation import InterferenceModel
 from repro.workloads.job import Job, JobRecord, JobStatus
 
 #: Fallback duration estimate when the estimator is ablated away.
 RUNTIME_AGNOSTIC_ESTIMATE = 3600.0
+
+logger = get_logger("core.lucid")
 
 
 @dataclass(frozen=True)
@@ -95,16 +99,22 @@ class LucidScheduler(Scheduler):
         the Packing Analyze Model.  Note this is *training* data collected
         on a profiling testbed (Table 1), not a peek at the simulator's
         ground truth at decision time.
+    audit:
+        Optional :class:`~repro.obs.audit.DecisionAudit`.  When omitted,
+        one is created automatically iff the engine is traced, so every
+        placement becomes explainable at zero cost to untraced runs.
     """
 
     name = "lucid"
 
     def __init__(self, history: Sequence[Job],
                  config: Optional[LucidConfig] = None,
-                 interference: Optional[InterferenceModel] = None) -> None:
+                 interference: Optional[InterferenceModel] = None,
+                 audit: Optional[DecisionAudit] = None) -> None:
         super().__init__()
         if not history:
             raise ValueError("Lucid requires non-empty training history")
+        self.audit = audit
         self.config = config or LucidConfig()
         self.history = list(history)
         self._train_interference = interference or InterferenceModel()
@@ -131,6 +141,10 @@ class LucidScheduler(Scheduler):
     def attach(self, engine) -> None:
         super().attach(engine)
         cfg = self.config
+        if self.audit is None and engine.tracer.enabled:
+            self.audit = DecisionAudit(tracer=engine.tracer)
+        elif self.audit is not None and self.audit.tracer is None:
+            self.audit.tracer = engine.tracer
         if cfg.enable_profiler:
             self.profiler = NonIntrusiveProfiler(
                 base_nodes=cfg.profiler_nodes,
@@ -150,8 +164,10 @@ class LucidScheduler(Scheduler):
             random_state=cfg.seed).fit_events(
                 [j.submit_time for j in self.history])
         self.binder = AffineJobpairBinder(gss_capacity=cfg.gss_capacity)
+        self.binder.audit = self.audit
         self.update_engine = UpdateEngine(self.estimator,
                                           interval=cfg.update_interval)
+        self.update_engine.audit = self.audit
         self._next_control = 0.0
 
     # ------------------------------------------------------------------
@@ -161,10 +177,14 @@ class LucidScheduler(Scheduler):
         self._submit_times.append(now)
         if self.profiler is not None and self.profiler.wants(job):
             self.profiler.enqueue(job)
+            self.trace_event("sched_submit", job, now,
+                             queue_depth=len(self.queue), routed="profiler")
             return
         # Large-scale jobs skip profiling; metrics are collected on the fly.
         job.measured_profile = job.profile.with_noise(self._rng)
         self._admit_to_main(job)
+        self.trace_event("sched_submit", job, now,
+                         queue_depth=len(self.queue), routed="main")
 
     def on_time_limit(self, job: Job, now: float) -> None:
         """Profiling window expired: evict, measure, hand to the main queue.
@@ -187,6 +207,7 @@ class LucidScheduler(Scheduler):
         self.queue.append(job)
 
     def on_job_finish(self, job: Job, now: float) -> None:
+        super().on_job_finish(job, now)
         self._main_start.pop(job.job_id, None)
         if self.update_engine is not None:
             self.update_engine.collect(JobRecord.from_job(job), now)
@@ -276,13 +297,22 @@ class LucidScheduler(Scheduler):
             self._control(now)
             self._next_control = now + self.config.control_interval
         if self.profiler is not None:
-            self.profiler.allocate(self.engine)
+            started = self.profiler.allocate(self.engine)
+            if self.audit is not None:
+                for job in started:
+                    gpus = self.engine.gpus_of(job)
+                    self.audit.record(PlacementDecision(
+                        time=now, job_id=job.job_id, mode="profiling",
+                        gpu_ids=tuple(g.gpu_id for g in gpus),
+                        node_ids=tuple(g.node_id for g in gpus),
+                        note=f"T_prof={self.profiler.t_prof:.0f}s, "
+                             f"N_prof={self.profiler.n_prof}"))
         if self.config.packing_policy == "indolent":
             self.binder.begin_pass(self.engine)
         placed = self.orchestrator.schedule(
             self.engine, self.queue, priority_fn=self._priority,
             find_mate=self._find_mate, sharing_mode=self._sharing_mode,
-            now=now)
+            now=now, audit=self.audit)
         self.binder.end_pass()
         for job in placed:
             self.queue.remove(job)
@@ -308,9 +338,16 @@ class LucidScheduler(Scheduler):
         forecast_level = self.throughput_model.load_level(forecast)
 
         if cfg.dynamic_strategy and cfg.packing_policy == "indolent":
-            self.mode_history.append(self.binder.update_mode(
+            previous = self.binder.mode
+            mode = self.binder.update_mode(
                 current_level, forecast_level,
-                queue_pressure=self._queue_peak))
+                queue_pressure=self._queue_peak)
+            self.mode_history.append(mode)
+            if mode is not previous:
+                logger.debug("dynamic strategy: %s -> %s at t=%.0fs "
+                             "(load %.2f, forecast %.2f, queue peak %d)",
+                             previous.name, mode.name, now, current_level,
+                             forecast_level, self._queue_peak)
         self._queue_peak = len(self.queue)
 
         if cfg.time_aware_scaling and self.profiler is not None:

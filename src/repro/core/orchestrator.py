@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.cluster.placement import find_consolidated, find_relaxed
+from repro.obs.audit import DecisionAudit, PlacementDecision
 from repro.workloads.job import Job
 
 
@@ -36,7 +37,8 @@ class ResourceOrchestrator:
                  priority_fn: Callable[[Job], float],
                  find_mate: Callable[[Job], Optional[Job]],
                  sharing_mode: str = "eager",
-                 now: float = 0.0) -> List[Job]:
+                 now: float = 0.0,
+                 audit: Optional[DecisionAudit] = None) -> List[Job]:
         """Place as many queued jobs as possible; returns the placed jobs.
 
         The caller removes placed jobs from its queue.  Jobs that fit
@@ -57,6 +59,11 @@ class ResourceOrchestrator:
         * ``"fallback"`` — exclusive placement first, packing only when the
           VC has no free consolidated slot (Apathetic mode).
         * ``"off"`` — exclusive only (sharing disabled).
+
+        When ``audit`` is given, every placement leaves a
+        :class:`~repro.obs.audit.PlacementDecision` carrying its inputs
+        (priority, duration estimate, sharing mode, starvation trigger,
+        binder verdict) so the allocation is explainable post-hoc.
         """
         if sharing_mode not in ("eager", "fallback", "off"):
             raise ValueError(f"bad sharing_mode {sharing_mode!r}")
@@ -74,6 +81,22 @@ class ResourceOrchestrator:
         ordered = sorted(queue,
                          key=lambda j: (not starving(j), j.priority,
                                         j.submit_time, j.job_id))
+        def record(job: Job, mode: str, mate: Optional[Job],
+                   relieved: bool) -> None:
+            if audit is None:
+                return
+            gpus = engine.gpus_of(job)
+            audit.record(PlacementDecision(
+                time=now, job_id=job.job_id, mode=mode,
+                gpu_ids=tuple(g.gpu_id for g in gpus),
+                node_ids=tuple(g.node_id for g in gpus),
+                priority=job.priority,
+                estimated_duration=job.estimated_duration,
+                sharing_mode=sharing_mode,
+                mate_id=mate.job_id if mate is not None else None,
+                starving=relieved,
+                binder=audit.take_binder(job.job_id)))
+
         placed: List[Job] = []
         for job in ordered:
             if sharing_mode == "eager":
@@ -81,6 +104,7 @@ class ResourceOrchestrator:
                 if mate is not None:
                     engine.start_job(job, engine.gpus_of(mate))
                     placed.append(job)
+                    record(job, "shared", mate, starving(job))
                     continue
             if self.place_exclusive is not None:
                 gpus = self.place_exclusive(engine, job)
@@ -88,17 +112,22 @@ class ResourceOrchestrator:
                 gpus = find_consolidated(
                     engine.cluster, job.gpu_num, vc=job.vc,
                     min_memory_mb=job.profile.gpu_mem_mb)
+            relaxed = False
             if gpus is None and starving(job):
                 # Starvation relief: relaxed (fragmented) placement.
                 gpus = find_relaxed(engine.cluster, job.gpu_num, vc=job.vc,
                                     min_memory_mb=job.profile.gpu_mem_mb)
+                relaxed = gpus is not None
             if gpus is not None:
                 engine.start_job(job, gpus)
                 placed.append(job)
+                record(job, "relaxed" if relaxed else "exclusive", None,
+                       relaxed)
                 continue
             if sharing_mode == "fallback":
                 mate = find_mate(job)
                 if mate is not None:
                     engine.start_job(job, engine.gpus_of(mate))
                     placed.append(job)
+                    record(job, "shared-fallback", mate, starving(job))
         return placed

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.audit import DecisionAudit
+from repro.obs.logutil import get_logger
 from repro.workloads.job import JobRecord
+
+logger = get_logger("core.update_engine")
 
 
 class UpdateEngine:
@@ -39,6 +43,10 @@ class UpdateEngine:
         self._new_records = 0
         self._last_refit: Optional[float] = None
         self.refits = 0
+        #: Optional :class:`repro.obs.audit.DecisionAudit`; refits are
+        #: recorded there so stale-model questions ("was the estimator
+        #: fresh when job 42 was placed?") are answerable post-hoc.
+        self.audit: Optional[DecisionAudit] = None
 
     def collect(self, record: JobRecord, now: float) -> None:
         """Absorb one completed job."""
@@ -61,6 +69,11 @@ class UpdateEngine:
         if self._new_records < self.min_new_records:
             return False
         self.estimator.refit()
+        logger.info("refit workload estimator at t=%.0fs on %d new records",
+                    now, self._new_records)
+        if self.audit is not None:
+            self.audit.record_refit(now, "workload_estimate",
+                                    self._new_records)
         self._last_refit = now
         self._new_records = 0
         self.refits += 1

@@ -1,0 +1,75 @@
+"""Observability subsystem: tracing, decision audit, metrics, timelines.
+
+Lucid's differentiator is *interpretability*; this package is the layer
+that makes the reproduction observable end to end:
+
+* :mod:`repro.obs.tracer` — structured simulator events in a ring buffer
+  with an optional JSONL sink (no-op :data:`NULL_TRACER` by default).
+* :mod:`repro.obs.audit` — per-placement decision records explaining every
+  allocation (priority, binder verdict, sharing mode, starvation relief).
+* :mod:`repro.obs.metrics` — counters / gauges / histograms surfaced on
+  :class:`~repro.sim.metrics.SimulationResult` as ``result.telemetry``.
+* :mod:`repro.obs.timeline` — Chrome trace-event export (per-GPU lanes
+  for ``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.logutil` — ``repro.*`` logger configuration.
+
+Quickstart::
+
+    from repro import Simulator, quick_simulation
+    from repro.obs import RingBufferTracer, write_chrome_trace
+
+    tracer = RingBufferTracer(sink="events.jsonl")
+    result = quick_simulation("venus", n_jobs=200, tracer=tracer)
+    print(result.telemetry.metrics)
+    print(result.telemetry.audit.explain(42))
+    write_chrome_trace("timeline.json", tracer.events)
+"""
+
+from repro.obs.audit import (
+    BinderVerdict,
+    DecisionAudit,
+    PlacementDecision,
+    RefitRecord,
+)
+from repro.obs.logutil import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+)
+from repro.obs.timeline import build_chrome_trace, write_chrome_trace
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingBufferTracer,
+    TraceEvent,
+    Tracer,
+    events_from_dicts,
+    read_jsonl,
+)
+
+__all__ = [
+    "BinderVerdict",
+    "DecisionAudit",
+    "PlacementDecision",
+    "RefitRecord",
+    "LOG_LEVELS",
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "build_chrome_trace",
+    "write_chrome_trace",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferTracer",
+    "TraceEvent",
+    "Tracer",
+    "events_from_dicts",
+    "read_jsonl",
+]

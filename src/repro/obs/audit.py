@@ -1,0 +1,258 @@
+"""Scheduler decision audit: why did each placement happen?
+
+The paper sells Lucid as *interpretable*: every allocation should be
+explainable from the model outputs that produced it.  The audit log is the
+post-hoc answer machine — for each placement the orchestrator records a
+:class:`PlacementDecision` carrying its inputs (priority value, estimated
+duration, sharing mode, starvation-relief trigger) and, when the Binder
+was consulted, the :class:`BinderVerdict` (chosen mate, sharing scores,
+GSS budget, and the rejection-reason census over the candidates that were
+turned down).  ``audit.explain(job_id)`` then renders a human-readable
+answer to "why was job 42 packed with job 17 instead of placed
+exclusively?".
+
+The audit is a pure observer: it never influences scheduling, and it is
+``None`` by default so un-instrumented runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "BinderVerdict",
+    "PlacementDecision",
+    "RefitRecord",
+    "DecisionAudit",
+]
+
+
+@dataclass(frozen=True)
+class BinderVerdict:
+    """Outcome of one Affine-Jobpair Binder mate search.
+
+    ``rejections`` maps a rejection reason (e.g. ``"gss_budget"``,
+    ``"has_mate"``, ``"memory"``) to the number of running candidates
+    dismissed for that reason, so a ``mate_id is None`` verdict still
+    explains *why* nobody qualified.
+    """
+
+    job_id: int
+    mate_id: Optional[int]
+    mode: str
+    gss_capacity: int
+    job_score: Optional[int] = None
+    mate_score: Optional[int] = None
+    candidates: int = 0
+    rejections: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.mate_id is not None
+
+    def reason_text(self) -> str:
+        if self.accepted:
+            return (f"binder accepted mate {self.mate_id} "
+                    f"(scores {self.job_score}+{self.mate_score} "
+                    f"<= GSS {self.gss_capacity}, mode {self.mode})")
+        if self.mode == "DISABLED":
+            return "binder declined: sharing disabled by dynamic strategy"
+        if not self.candidates:
+            return "binder declined: no running candidates"
+        census = ", ".join(f"{reason} x{count}" for reason, count
+                           in sorted(self.rejections.items()))
+        return f"binder declined all {self.candidates} candidates ({census})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "mate_id": self.mate_id,
+            "mode": self.mode,
+            "gss_capacity": self.gss_capacity,
+            "job_score": self.job_score,
+            "mate_score": self.mate_score,
+            "candidates": self.candidates,
+            "rejections": dict(self.rejections),
+        }
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One explained allocation.
+
+    ``mode`` is one of ``"shared"`` (packed via the Binder),
+    ``"exclusive"`` (consolidated placement), ``"relaxed"`` (fragmented
+    placement granted by starvation relief), ``"shared-fallback"``
+    (Apathetic-mode packing after exclusive placement failed) or
+    ``"profiling"`` (a bounded run on the profiling cluster).
+    """
+
+    time: float
+    job_id: int
+    mode: str
+    gpu_ids: Tuple[int, ...]
+    node_ids: Tuple[int, ...]
+    priority: float = 0.0
+    estimated_duration: Optional[float] = None
+    sharing_mode: str = "off"
+    mate_id: Optional[int] = None
+    starving: bool = False
+    binder: Optional[BinderVerdict] = None
+    note: str = ""
+
+    def explain(self) -> str:
+        """One-paragraph human-readable justification."""
+        parts = [f"t={self.time:.0f}s job {self.job_id}"]
+        if self.mode == "shared":
+            parts.append(f"packed with job {self.mate_id} on "
+                         f"GPUs {list(self.gpu_ids)}")
+        elif self.mode == "shared-fallback":
+            parts.append(f"packed with job {self.mate_id} on "
+                         f"GPUs {list(self.gpu_ids)} after exclusive "
+                         "placement found no free consolidated block")
+        elif self.mode == "relaxed":
+            parts.append(f"placed on fragmented GPUs {list(self.gpu_ids)} "
+                         f"across nodes {sorted(set(self.node_ids))} by "
+                         "starvation relief")
+        elif self.mode == "profiling":
+            parts.append(f"started on profiler GPUs {list(self.gpu_ids)}")
+        else:
+            parts.append(f"placed exclusively on GPUs {list(self.gpu_ids)}")
+        if self.mode != "profiling":
+            parts.append(f"priority={self.priority:.1f}")
+            if self.estimated_duration is not None:
+                parts.append(f"estimated duration "
+                             f"{self.estimated_duration:.0f}s")
+            parts.append(f"sharing mode '{self.sharing_mode}'")
+        if self.starving:
+            parts.append("starvation-relief triggered")
+        if self.binder is not None:
+            parts.append(self.binder.reason_text())
+        if self.note:
+            parts.append(self.note)
+        return "; ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "t": self.time,
+            "job_id": self.job_id,
+            "mode": self.mode,
+            "gpu_ids": list(self.gpu_ids),
+            "node_ids": list(self.node_ids),
+            "priority": self.priority,
+            "estimated_duration": self.estimated_duration,
+            "sharing_mode": self.sharing_mode,
+            "mate_id": self.mate_id,
+            "starving": self.starving,
+        }
+        if self.binder is not None:
+            out["binder"] = self.binder.to_dict()
+        if self.note:
+            out["note"] = self.note
+        return out
+
+
+@dataclass(frozen=True)
+class RefitRecord:
+    """One Update Engine model refresh."""
+
+    time: float
+    model: str
+    new_records: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"t": self.time, "model": self.model,
+                "new_records": self.new_records}
+
+
+class DecisionAudit:
+    """Collects placement decisions and renders explanations.
+
+    Parameters
+    ----------
+    tracer:
+        Optional tracer; every recorded decision is mirrored as a
+        ``"decision"`` trace event so the JSONL log is self-contained.
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None) -> None:
+        self.tracer = tracer
+        self.records: List[PlacementDecision] = []
+        self.refits: List[RefitRecord] = []
+        self._pending_binder: Dict[int, BinderVerdict] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (called by the binder / orchestrator / Lucid)
+    # ------------------------------------------------------------------
+    def note_binder(self, verdict: BinderVerdict) -> None:
+        """Stash the latest binder verdict for a job.
+
+        The orchestrator collects it into the job's placement decision via
+        :meth:`take_binder`; verdicts for jobs that end up unplaced are
+        simply overwritten on the next pass.
+        """
+        self._pending_binder[verdict.job_id] = verdict
+
+    def take_binder(self, job_id: int) -> Optional[BinderVerdict]:
+        return self._pending_binder.pop(job_id, None)
+
+    def record(self, decision: PlacementDecision) -> PlacementDecision:
+        self.records.append(decision)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(decision.time, "decision", decision.job_id,
+                             **{k: v for k, v in decision.to_dict().items()
+                                if k not in ("t", "job_id")})
+        return decision
+
+    def record_refit(self, time: float, model: str,
+                     new_records: int) -> None:
+        self.refits.append(RefitRecord(time, model, new_records))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(time, "refit", None, model=model,
+                             new_records=new_records)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def for_job(self, job_id: int) -> List[PlacementDecision]:
+        return [d for d in self.records if d.job_id == job_id]
+
+    def explain(self, job_id: int) -> str:
+        decisions = self.for_job(job_id)
+        if not decisions:
+            return f"no recorded decisions for job {job_id}"
+        return "\n".join(d.explain() for d in decisions)
+
+    def packing_rate(self) -> float:
+        """Fraction of recorded main-cluster placements that were packed."""
+        main = [d for d in self.records if d.mode != "profiling"]
+        if not main:
+            return 0.0
+        packed = sum(1 for d in main
+                     if d.mode in ("shared", "shared-fallback"))
+        return packed / len(main)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, path: str) -> int:
+        """Write all decisions (and refits) as JSON lines; returns count."""
+        n = 0
+        with open(path, "w") as handle:
+            for decision in self.records:
+                handle.write(json.dumps(decision.to_dict(),
+                                        separators=(",", ":")) + "\n")
+                n += 1
+            for refit in self.refits:
+                record = refit.to_dict()
+                record["kind"] = "refit"
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+                n += 1
+        return n

@@ -1,0 +1,57 @@
+"""Logging configuration for the ``repro`` package.
+
+Every subsystem owns a module-level logger under the ``repro.`` namespace
+(``repro.sim.engine``, ``repro.core.lucid``, ``repro.schedulers``, …).
+:func:`configure_logging` attaches one stream handler to the shared
+``repro`` root so the CLI's ``--log-level`` flag governs all of them at
+once without touching the global root logger (library-friendly: importing
+``repro`` never configures logging by itself).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["configure_logging", "get_logger", "LOG_LEVELS"]
+
+#: Names accepted by the CLI ``--log-level`` flag.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Namespaced logger (``get_logger("sim.engine")`` ->
+    ``repro.sim.engine``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: Union[str, int] = "warning",
+                      stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: repeated calls reuse the existing handler and only adjust
+    the level, so tests may call it freely.
+    """
+    if isinstance(level, str):
+        if level.lower() not in LOG_LEVELS:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"choose from {LOG_LEVELS}")
+        level = getattr(logging, level.upper())
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    handler = next((h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    return root

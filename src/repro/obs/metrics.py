@@ -1,0 +1,196 @@
+"""Metrics registry: counters, gauges and histograms for simulator runs.
+
+A tiny Prometheus-flavoured registry the engine populates while tracing is
+enabled: counters (jobs started / finished / preempted, packed
+placements), time-series gauges (queue depth over simulated time) and
+histograms (scheduler wall-clock per ``schedule()`` call).  The registry
+snapshot is surfaced on :class:`~repro.sim.metrics.SimulationResult`
+through the :class:`Telemetry` container, so benchmark harnesses and the
+CLI can report scheduler-health numbers without re-deriving them from the
+event log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-value metric with an optional time series of samples."""
+
+    __slots__ = ("name", "value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        #: ``(time, value)`` samples in recording order; consecutive
+        #: duplicates are collapsed to keep long runs compact.
+        self.samples: List[Tuple[float, float]] = []
+
+    def set(self, value: float, time: Optional[float] = None) -> None:
+        self.value = value
+        if time is not None:
+            if self.samples and self.samples[-1][1] == value:
+                return
+            self.samples.append((time, value))
+
+    @property
+    def max(self) -> Optional[float]:
+        if not self.samples:
+            return self.value
+        return max(v for _, v in self.samples)
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps every observation (simulation runs observe at most one value per
+    scheduling pass, so memory stays modest) which makes exact percentiles
+    available for the scalability reports.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1,
+                          int(math.ceil(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-value snapshot of every registered metric.
+
+        Counters flatten to floats, gauges to their last value (series
+        are kept on the registry object itself), histograms to summary
+        dicts.
+        """
+        out: Dict[str, Any] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self._gauges.items()):
+            out[name] = gauge.value
+        for name, hist in sorted(self._histograms.items()):
+            out[name] = hist.summary()
+        return out
+
+    def gauge_series(self, name: str) -> List[Tuple[float, float]]:
+        gauge = self._gauges.get(name)
+        return list(gauge.samples) if gauge is not None else []
+
+
+@dataclass
+class Telemetry:
+    """Everything observability-related collected during one run.
+
+    Attached to :class:`~repro.sim.metrics.SimulationResult` as the
+    ``telemetry`` field when (and only when) tracing was enabled.
+    """
+
+    #: Structured events retained by the tracer's ring buffer.
+    events: List[Any] = field(default_factory=list)
+    #: Metric snapshot from :meth:`MetricsRegistry.snapshot`.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: The live registry (for gauge time series and exact histograms).
+    registry: Optional[MetricsRegistry] = None
+    #: Scheduler decision audit, when the active scheduler kept one.
+    audit: Optional[Any] = None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -1,0 +1,219 @@
+"""Structured event tracing for the simulator.
+
+Lucid's headline property is *interpretability* (paper §3, Figure 7): an
+operator can ask why any scheduling action was taken.  The tracer is the
+substrate that makes the reproduction equally inspectable: the engine and
+the schedulers emit :class:`TraceEvent` records at every lifecycle point
+(submit / start / stop / preempt / finish / time-limit / speed change /
+decision / refit), and the tracer stores them in a bounded in-memory ring
+buffer with an optional JSONL sink for offline analysis.
+
+The contract that keeps the simulator honest:
+
+* **Zero overhead when disabled.**  The default tracer is
+  :data:`NULL_TRACER`, whose ``enabled`` flag is ``False``; every emission
+  site in the hot path is guarded by that flag, so a run without tracing
+  executes the exact instruction stream of the seed engine and produces a
+  bit-identical :class:`~repro.sim.metrics.SimulationResult`.
+* **No behavioural feedback.**  Tracers observe; they never mutate jobs,
+  GPUs or scheduler state.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RingBufferTracer",
+    "read_jsonl",
+]
+
+
+#: Canonical event kinds emitted by the engine and schedulers.  ``kind`` is
+#: an open vocabulary (extensions may add their own), but these names are
+#: stable and relied upon by the timeline exporter and the tests.
+ENGINE_EVENT_KINDS = (
+    "submit",      # job arrived (engine dispatched its SUBMIT event)
+    "start",       # job began (or resumed) executing on a GPU set
+    "stop",        # job was removed from its GPUs without finishing
+    "preempt",     # like stop, but counted as a preemption
+    "finish",      # job completed all its work
+    "time_limit",  # a bounded (profiling) run hit its wall-clock limit
+    "speed",       # a running job's effective speed changed
+    "decision",    # a scheduler placement decision (see repro.obs.audit)
+    "refit",       # the Update Engine refreshed a learned model
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured simulator event.
+
+    ``data`` carries kind-specific payload (GPU ids, speed, mates, …) and
+    is stored as a plain dict so events serialize to JSON unmodified.
+    """
+
+    time: float
+    kind: str
+    job_id: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"t": self.time, "kind": self.kind}
+        if self.job_id is not None:
+            out["job_id"] = self.job_id
+        out.update(self.data)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"),
+                          sort_keys=False, default=_json_default)
+
+
+def _json_default(obj: Any):
+    """Serialize the odd numpy scalar that sneaks into event payloads."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+class Tracer:
+    """Tracer protocol: ``emit`` plus an ``enabled`` fast-path flag.
+
+    Emission sites MUST guard on :attr:`enabled` before building payload
+    dicts, e.g. ``if tracer.enabled: tracer.emit(...)`` — constructing the
+    keyword arguments is the expensive part, not the call itself.
+    """
+
+    #: Hot-path guard; ``False`` means every emission site is skipped.
+    enabled: bool = False
+
+    def emit(self, time: float, kind: str, job_id: Optional[int] = None,
+             **data: Any) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default no-op tracer (disabled)."""
+
+    enabled = False
+
+    def emit(self, time: float, kind: str, job_id: Optional[int] = None,
+             **data: Any) -> None:
+        pass
+
+
+#: Shared singleton used as the engine default.
+NULL_TRACER = NullTracer()
+
+
+class RingBufferTracer(Tracer):
+    """In-memory ring buffer of events with an optional JSONL sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained in memory; older events are evicted FIFO
+        (the JSONL sink, when set, still receives every event).
+    sink:
+        A file path or open text handle; every event is appended as one
+        JSON line.  Paths are opened lazily on first emission and closed
+        by :meth:`close` (the tracer is a context manager).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1_000_000,
+                 sink: Optional[Union[str, IO[str]]] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._sink_path: Optional[str] = None
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        self.n_emitted = 0
+        if isinstance(sink, str):
+            self._sink_path = sink
+        elif sink is not None:
+            self._sink = sink
+
+    # ------------------------------------------------------------------
+    def emit(self, time: float, kind: str, job_id: Optional[int] = None,
+             **data: Any) -> None:
+        event = TraceEvent(time=time, kind=kind, job_id=job_id, data=data)
+        self._buffer.append(event)
+        self.n_emitted += 1
+        if self._sink_path is not None and self._sink is None:
+            self._sink = open(self._sink_path, "w")
+            self._owns_sink = True
+        if self._sink is not None:
+            self._sink.write(event.to_json() + "\n")
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Events currently retained, oldest first."""
+        return list(self._buffer)
+
+    def events_of(self, job_id: int) -> List[TraceEvent]:
+        """All retained events of one job, in emission order."""
+        return [e for e in self._buffer if e.job_id == job_id]
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        """All retained events matching any of the given kinds."""
+        wanted = set(kinds)
+        return [e for e in self._buffer if e.kind in wanted]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of retained event kinds."""
+        return dict(Counter(e.kind for e in self._buffer))
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL event log written by :class:`RingBufferTracer`."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def events_from_dicts(records: Iterable[Dict[str, Any]]) -> List[TraceEvent]:
+    """Rehydrate :class:`TraceEvent` objects from JSONL dicts."""
+    events = []
+    for rec in records:
+        rec = dict(rec)
+        time = rec.pop("t")
+        kind = rec.pop("kind")
+        job_id = rec.pop("job_id", None)
+        events.append(TraceEvent(time=time, kind=kind, job_id=job_id,
+                                 data=rec))
+    return events

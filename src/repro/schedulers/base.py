@@ -5,7 +5,10 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from repro.cluster.placement import find_consolidated
+from repro.obs.logutil import get_logger
 from repro.workloads.job import Job, JobStatus
+
+logger = get_logger("schedulers")
 
 
 class Scheduler:
@@ -15,6 +18,12 @@ class Scheduler:
     callbacks).  The base maintains the pending queue: submitted jobs are
     appended and placed jobs must be removed by the subclass (the helpers
     here do it for you).
+
+    Every scheduler built on this base gets submit/finish tracing for
+    free: the event callbacks emit scheduler-perspective trace events
+    (``sched_submit`` with the current queue depth, ``sched_finish``)
+    through the engine's tracer.  Subclasses that override a callback
+    without calling ``super()`` can emit via :meth:`trace_event`.
     """
 
     #: Human-readable name used by benchmark tables.
@@ -34,11 +43,23 @@ class Scheduler:
         self.engine = engine
         self.queue = []
 
+    def trace_event(self, kind: str, job: Optional[Job], now: float,
+                    **data) -> None:
+        """Emit a scheduler-perspective trace event (no-op untraced)."""
+        engine = self.engine
+        if engine is not None and engine.tracer.enabled:
+            engine.tracer.emit(now, kind,
+                               job.job_id if job is not None else None,
+                               scheduler=self.name, **data)
+
     def on_job_submit(self, job: Job, now: float) -> None:
         self.queue.append(job)
+        self.trace_event("sched_submit", job, now,
+                         queue_depth=len(self.queue))
 
     def on_job_finish(self, job: Job, now: float) -> None:
-        pass
+        self.trace_event("sched_finish", job, now,
+                         queue_depth=len(self.queue))
 
     def on_time_limit(self, job: Job, now: float) -> None:
         pass

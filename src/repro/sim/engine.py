@@ -27,17 +27,23 @@ The paper validates its simulator against a 32-GPU physical testbed with
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
+from repro.obs.logutil import get_logger
+from repro.obs.metrics import MetricsRegistry, Telemetry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import SimulationResult, UtilizationTracker
 from repro.workloads.colocation import InterferenceModel
 from repro.workloads.job import Job, JobRecord, JobStatus
 
 _EPS = 1e-6
+
+logger = get_logger("sim.engine")
 
 
 @dataclass
@@ -68,13 +74,20 @@ class Simulator:
     interference:
         Ground-truth colocation slowdown model.
     max_events:
-        Safety valve against runaway simulations.
+        Safety valve against runaway simulations (counted per dispatched
+        event, including events drained inside a simultaneous batch).
+    tracer:
+        Structured-event tracer (see :mod:`repro.obs.tracer`).  Defaults
+        to the disabled :data:`~repro.obs.tracer.NULL_TRACER`; every
+        emission site is guarded by ``tracer.enabled`` so a run without
+        tracing is bit-identical to (and as fast as) an untraced one.
     """
 
     def __init__(self, cluster: Cluster, jobs: Sequence[Job], scheduler,
                  interference: Optional[InterferenceModel] = None,
                  max_events: int = 20_000_000,
-                 model_cpu: bool = False) -> None:
+                 model_cpu: bool = False,
+                 tracer: Optional[Tracer] = None) -> None:
         self.cluster = cluster
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -87,6 +100,14 @@ class Simulator:
         #: resources, the paper's SS6).  Off by default: the paper's
         #: evaluation treats GPUs as the dominant resource.
         self.model_cpu = model_cpu
+
+        #: Observability: disabled by default (zero overhead contract —
+        #: hot paths check the cached ``_tracing`` flag before building
+        #: any event payload); metrics exist only while tracing.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tracing = self.tracer.enabled
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self._tracing else None)
 
         self._node_index = {node.node_id: node for node in cluster.nodes}
         self.now = 0.0
@@ -161,6 +182,20 @@ class Simulator:
         # A new resident slows any mates down; refresh the whole GPU set.
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self._tracing:
+            mates = [m.job_id for m in self.mates_of(job)]
+            self.tracer.emit(
+                self.now, "start", job.job_id,
+                name=job.name, gpus=[g.gpu_id for g in gpus],
+                nodes=[g.node_id for g in gpus], speed=state.speed,
+                mates=mates, profiling=profiling,
+                overhead=state.overhead_left,
+                time_limit=time_limit)
+            self.metrics.counter("jobs_started").inc()
+            if profiling:
+                self.metrics.counter("profiler_runs").inc()
+            elif mates:
+                self.metrics.counter("placements_shared").inc()
 
     def stop_job(self, job: Job, preempted: bool = False) -> None:
         """Remove a running job from its GPUs without finishing it."""
@@ -177,12 +212,23 @@ class Simulator:
             job.status = JobStatus.PENDING
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self._tracing:
+            self.tracer.emit(
+                self.now, "preempt" if preempted else "stop", job.job_id,
+                gpus=[g.gpu_id for g in gpus],
+                nodes=[g.node_id for g in gpus],
+                progress=job.progress, profiling=state.is_profiling)
+            if preempted:
+                self.metrics.counter("preemptions").inc()
 
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Replay the trace to completion and return aggregated results."""
+        logger.info("run start: %d jobs on %d GPUs under %s",
+                    len(self.jobs), self.cluster.n_gpus,
+                    getattr(self.scheduler, "name", type(self.scheduler)))
         self.scheduler.attach(self)
         for job in self.jobs.values():
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
@@ -191,10 +237,12 @@ class Simulator:
         while self._unfinished > 0:
             if not self.events:
                 # Give the scheduler one last chance (e.g. sharing decisions).
-                self.scheduler.schedule(self.now)
+                self._invoke_scheduler()
                 if self._unfinished > 0 and not self.events:
                     stuck = [j.job_id for j in self.jobs.values()
                              if j.status != JobStatus.FINISHED]
+                    logger.error("deadlock at t=%.0fs: %d unfinished jobs",
+                                 self.now, len(stuck))
                     raise RuntimeError(
                         f"simulation deadlocked at t={self.now:.0f}s with "
                         f"{len(stuck)} unfinished jobs (first: {stuck[:5]})")
@@ -205,24 +253,57 @@ class Simulator:
             # Drain all simultaneous events before invoking the scheduler.
             while self.events and self.events.peek_time() <= self.now + _EPS:
                 self._dispatch(self.events.pop())
-            self.scheduler.schedule(self.now)
+            self._invoke_scheduler()
             self._maybe_schedule_tick()
-            self._events_processed += 1
             if self._events_processed > self.max_events:
                 raise RuntimeError("max_events exceeded; likely a livelock")
 
         self.utilization.update(self.now)
+        logger.info("run done: makespan %.0fs, %d events dispatched",
+                    self.now, self._events_processed)
         return SimulationResult(records=list(self.records),
                                 makespan=self.now,
-                                utilization=self.utilization.summary())
+                                utilization=self.utilization.summary(),
+                                telemetry=self._build_telemetry())
+
+    def _invoke_scheduler(self) -> None:
+        """Run one scheduling pass, timing it when tracing is on."""
+        if not self._tracing:
+            self.scheduler.schedule(self.now)
+            return
+        started = _time.perf_counter()
+        self.scheduler.schedule(self.now)
+        elapsed = _time.perf_counter() - started
+        self.metrics.histogram("schedule_seconds").observe(elapsed)
+        queue = getattr(self.scheduler, "queue", None)
+        if queue is not None:
+            self.metrics.gauge("queue_depth").set(float(len(queue)),
+                                                  time=self.now)
+
+    def _build_telemetry(self) -> Optional[Telemetry]:
+        if not self._tracing:
+            return None
+        events = getattr(self.tracer, "events", None)
+        return Telemetry(events=list(events) if events is not None else [],
+                         metrics=self.metrics.snapshot(),
+                         registry=self.metrics,
+                         audit=getattr(self.scheduler, "audit", None))
 
     # ------------------------------------------------------------------
     # Event dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, event) -> None:
+        # The livelock safety valve counts every dispatched event, not
+        # event batches: simultaneous events drained by the inner loop in
+        # :meth:`run` must not fly under the ``max_events`` radar.
+        self._events_processed += 1
         if event.kind is EventKind.SUBMIT:
             job = self.jobs[event.job_id]
             job.status = JobStatus.PENDING
+            if self._tracing:
+                self.tracer.emit(self.now, "submit", job.job_id,
+                                 gpu_num=job.gpu_num, vc=job.vc)
+                self.metrics.counter("jobs_submitted").inc()
             self.scheduler.on_job_submit(job, self.now)
         elif event.kind is EventKind.FINISH:
             self._handle_finish(event)
@@ -254,6 +335,13 @@ class Simulator:
         self._unfinished -= 1
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self._tracing:
+            self.tracer.emit(self.now, "finish", job.job_id,
+                             gpus=[g.gpu_id for g in gpus],
+                             nodes=[g.node_id for g in gpus],
+                             jct=job.jct, queue_delay=job.queue_delay,
+                             profiling=state.is_profiling)
+            self.metrics.counter("jobs_finished").inc()
         self.scheduler.on_job_finish(job, self.now)
 
     def _handle_time_limit(self, event) -> None:
@@ -265,6 +353,10 @@ class Simulator:
         job = self.jobs[event.job_id]
         self._integrate(job, state)
         state.time_limit_at = None
+        if self._tracing:
+            self.tracer.emit(self.now, "time_limit", job.job_id,
+                             progress=job.progress,
+                             profiling=state.is_profiling)
         self.scheduler.on_time_limit(job, self.now)
 
     # ------------------------------------------------------------------
@@ -378,7 +470,10 @@ class Simulator:
             self._integrate(job, state)
             # Always re-derive the completion event: a freshly started job
             # has none yet, and epoch bumping invalidates stale ones cheaply.
+            old_speed = state.speed
             state.speed = self._current_speed(job, state)
+            if self._tracing and state.speed != old_speed:
+                self.tracer.emit(self.now, "speed", jid, speed=state.speed)
             self._reschedule_finish(job, state)
 
     def _reschedule_finish(self, job: Job, state: RunState) -> None:

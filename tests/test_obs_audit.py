@@ -1,0 +1,148 @@
+"""Tests for the scheduler decision audit."""
+
+import json
+
+from repro.core import LucidConfig, LucidScheduler, UpdateEngine
+from repro.obs import (
+    BinderVerdict,
+    DecisionAudit,
+    PlacementDecision,
+    RingBufferTracer,
+)
+from repro.sim import Simulator
+from repro.traces import TraceGenerator, TraceSpec
+
+
+def _lucid_run(tracer=None, audit=None, **config_changes):
+    spec = TraceSpec(name="tiny", n_nodes=4, n_vcs=2, n_jobs=40,
+                     full_n_jobs=40, mean_duration=1500.0, span_days=0.25,
+                     n_users=6, seed=21)
+    generator = TraceGenerator(spec)
+    cluster = generator.build_cluster()
+    history = generator.generate_history()
+    jobs = generator.generate()
+    config = LucidConfig(**config_changes)
+    scheduler = LucidScheduler(history, config=config, audit=audit)
+    sim = Simulator(cluster, jobs, scheduler, tracer=tracer)
+    return sim.run(), scheduler, sim
+
+
+class TestLucidAudit:
+    def test_every_start_has_exactly_one_matching_record(self):
+        # Profiler off: each job starts exactly once, via the orchestrator.
+        tracer = RingBufferTracer()
+        result, scheduler, _ = _lucid_run(tracer=tracer,
+                                          enable_profiler=False,
+                                          instability_rate=0.0)
+        audit = result.telemetry.audit
+        assert audit is scheduler.audit and audit is not None
+
+        starts = tracer.of_kind("start")
+        assert len(starts) == len(result.records)  # one start per job
+        assert len(audit) == len(starts)
+        for event in starts:
+            decisions = audit.for_job(event.job_id)
+            assert len(decisions) == 1
+            # The audited GPU set is the engine's gpus_of at start time.
+            assert list(decisions[0].gpu_ids) == event.data["gpus"]
+            assert list(decisions[0].node_ids) == event.data["nodes"]
+            assert decisions[0].mode in ("shared", "exclusive", "relaxed",
+                                         "shared-fallback")
+
+    def test_profiler_runs_are_audited_too(self):
+        tracer = RingBufferTracer()
+        result, _, _ = _lucid_run(tracer=tracer)
+        audit = result.telemetry.audit
+        starts = tracer.of_kind("start")
+        assert len(audit) == len(starts)
+        profiled = [e for e in starts if e.data["profiling"]]
+        assert profiled, "tiny trace should profile some jobs"
+        for event in profiled:
+            modes = [d.mode for d in audit.for_job(event.job_id)]
+            assert "profiling" in modes
+
+    def test_explicit_audit_without_tracer(self):
+        audit = DecisionAudit()
+        result, scheduler, _ = _lucid_run(audit=audit,
+                                          enable_profiler=False)
+        assert result.telemetry is None  # untraced run stays untraced
+        assert len(audit) == len(result.records)
+        text = audit.explain(result.records[0].job_id)
+        assert "priority" in text
+
+    def test_decisions_mirrored_as_trace_events(self):
+        tracer = RingBufferTracer()
+        result, _, _ = _lucid_run(tracer=tracer, enable_profiler=False)
+        decisions = tracer.of_kind("decision")
+        assert len(decisions) == len(result.telemetry.audit)
+
+    def test_audit_jsonl_export(self, tmp_path):
+        tracer = RingBufferTracer()
+        result, _, _ = _lucid_run(tracer=tracer, enable_profiler=False)
+        path = str(tmp_path / "audit.jsonl")
+        written = result.telemetry.audit.to_jsonl(path)
+        lines = [json.loads(line) for line in open(path)]
+        assert len(lines) == written == len(result.telemetry.audit) + \
+            len(result.telemetry.audit.refits)
+        assert all("mode" in line or line.get("kind") == "refit"
+                   for line in lines)
+
+
+class TestBinderVerdict:
+    def test_accept_and_decline_render(self):
+        accept = BinderVerdict(job_id=1, mate_id=2, mode="DEFAULT",
+                               gss_capacity=2, job_score=1, mate_score=1,
+                               candidates=3)
+        assert accept.accepted
+        assert "mate 2" in accept.reason_text()
+
+        decline = BinderVerdict(job_id=1, mate_id=None, mode="DEFAULT",
+                                gss_capacity=2, job_score=2, candidates=4,
+                                rejections={"gss_budget": 3, "memory": 1})
+        assert not decline.accepted
+        assert "gss_budget x3" in decline.reason_text()
+
+        disabled = BinderVerdict(job_id=1, mate_id=None, mode="DISABLED",
+                                 gss_capacity=0)
+        assert "sharing disabled" in disabled.reason_text()
+
+    def test_packed_decision_explanation(self):
+        verdict = BinderVerdict(job_id=42, mate_id=17, mode="DEFAULT",
+                                gss_capacity=2, job_score=1, mate_score=1,
+                                candidates=5)
+        decision = PlacementDecision(
+            time=120.0, job_id=42, mode="shared", gpu_ids=(4, 5),
+            node_ids=(0, 0), priority=3600.0, estimated_duration=1800.0,
+            sharing_mode="eager", mate_id=17, binder=verdict)
+        text = decision.explain()
+        assert "packed with job 17" in text
+        assert "binder accepted mate 17" in text
+
+
+class TestRefitAudit:
+    class _StubEstimator:
+        def __init__(self):
+            self.updates = 0
+            self.refit_calls = 0
+
+        def update(self, record):
+            self.updates += 1
+
+        def refit(self):
+            self.refit_calls += 1
+
+    class _Record:
+        pass
+
+    def test_refit_recorded(self):
+        audit = DecisionAudit()
+        estimator = self._StubEstimator()
+        engine = UpdateEngine(estimator, interval=100.0, min_new_records=2)
+        engine.audit = audit
+        engine.collect(self._Record(), now=0.0)
+        engine.collect(self._Record(), now=1.0)
+        assert not engine.maybe_refit(50.0)
+        assert engine.maybe_refit(150.0)
+        assert len(audit.refits) == 1
+        assert audit.refits[0].new_records == 2
+        assert audit.refits[0].model == "workload_estimate"

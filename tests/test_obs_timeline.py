@@ -1,0 +1,133 @@
+"""Tests for the Chrome trace-event timeline exporter and the metrics
+registry that feeds its counter track."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferTracer,
+    TraceEvent,
+    build_chrome_trace,
+    write_chrome_trace,
+)
+from repro.schedulers import TiresiasScheduler
+from repro.sim import Simulator
+from repro.traces import TraceGenerator, TraceSpec
+
+
+def _synthetic_events():
+    return [
+        TraceEvent(0.0, "submit", 1, {}),
+        TraceEvent(10.0, "start", 1,
+                   {"name": "resnet", "gpus": [0, 1], "nodes": [0, 0],
+                    "speed": 1.0, "mates": [], "profiling": False}),
+        TraceEvent(20.0, "start", 2,
+                   {"gpus": [3], "nodes": [1], "speed": 1.0, "mates": [],
+                    "profiling": True}),
+        TraceEvent(50.0, "speed", 1, {"speed": 0.8}),
+        TraceEvent(90.0, "finish", 1, {}),
+        TraceEvent(100.0, "decision", 3, {"mode": "shared"}),
+    ]
+
+
+class TestBuildChromeTrace:
+    def test_lanes_instants_and_metadata(self):
+        doc = build_chrome_trace(_synthetic_events(),
+                                 queue_depth=[(0.0, 1.0), (10.0, 0.0)])
+        events = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+        complete = [e for e in events if e["ph"] == "X"]
+        # Job 1 spans two GPU lanes; job 2 (never closed) is closed at
+        # end-of-trace with outcome "running" on its one profiler lane.
+        job1 = [e for e in complete if e["args"]["job_id"] == 1]
+        assert len(job1) == 2
+        assert {e["tid"] for e in job1} == {0, 1}
+        assert all(e["pid"] == 0 for e in job1)
+        assert all(e["ts"] == 10.0e6 and e["dur"] == 80.0e6 for e in job1)
+        assert all(e["args"]["outcome"] == "finish" for e in job1)
+        # The mid-run speed event updated the annotation.
+        assert all(e["args"]["speed"] == 0.8 for e in job1)
+
+        job2 = [e for e in complete if e["args"]["job_id"] == 2]
+        assert len(job2) == 1
+        assert job2[0]["pid"] == 10_000 + 1  # profiler lanes get own pids
+        assert job2[0]["args"]["outcome"] == "running"
+
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {"submit job 1",
+                                                "shared job 3"}
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["jobs"] for c in counters] == [1.0, 0.0]
+
+        labels = {(e["pid"], e["tid"]): e["args"]["name"]
+                  for e in events if e["ph"] == "M"
+                  if e["name"] == "thread_name"}
+        assert labels[(0, 0)] == "gpu 0"
+        process_names = {e["args"]["name"] for e in events
+                         if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"node 0", "profiler node 1", "scheduler"} <= process_names
+
+    def test_empty_input(self):
+        doc = build_chrome_trace([])
+        assert doc["traceEvents"] == []
+
+    def test_real_run_round_trip(self, tmp_path):
+        spec = TraceSpec(name="tiny", n_nodes=4, n_vcs=2, n_jobs=50,
+                         full_n_jobs=50, mean_duration=1500.0,
+                         span_days=0.25, n_users=8, seed=5)
+        generator = TraceGenerator(spec)
+        tracer = RingBufferTracer()
+        sim = Simulator(generator.build_cluster(), generator.generate(),
+                        TiresiasScheduler(), tracer=tracer)
+        result = sim.run()
+
+        path = str(tmp_path / "timeline.json")
+        series = result.telemetry.registry.gauge_series("queue_depth")
+        n = write_chrome_trace(path, tracer.events, queue_depth=series)
+        doc = json.loads(open(path).read())
+        assert len(doc["traceEvents"]) == n
+
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        # Every finished job appears, on exactly gpu_num lanes per run.
+        jobs_seen = {e["args"]["job_id"] for e in complete}
+        assert jobs_seen == {r.job_id for r in result.records}
+        assert all(e["dur"] >= 0.0 for e in complete)
+        # Tiresias preempts: some runs must end in preemption.
+        outcomes = {e["args"]["outcome"] for e in complete}
+        assert "finish" in outcomes
+        # Queue-depth counter track present.
+        assert any(e["ph"] == "C" for e in doc["traceEvents"])
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs").inc(2)
+        with pytest.raises(ValueError):
+            registry.counter("jobs").inc(-1)
+
+        gauge = registry.gauge("queue")
+        gauge.set(3.0, time=0.0)
+        gauge.set(3.0, time=0.0)  # deduped
+        gauge.set(5.0, time=10.0)
+        assert gauge.value == 5.0
+        assert gauge.max == 5.0
+        assert registry.gauge_series("queue") == [(0.0, 3.0), (10.0, 5.0)]
+
+        hist = registry.histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.mean == 2.5
+        assert hist.percentile(50) == 2.0
+        assert hist.percentile(100) == 4.0
+
+        snap = registry.snapshot()
+        assert snap["jobs"] == 3
+        assert snap["queue"] == 5.0
+        assert snap["lat"]["count"] == 4
+        assert snap["lat"]["p99"] == 4.0
