@@ -14,7 +14,8 @@ Quickstart::
 """
 
 from repro.core import LucidConfig, LucidScheduler
-from repro.sim import SimulationResult, Simulator
+from repro.faults import FaultInjector, FaultSpec, FaultSpecError, RetryPolicy
+from repro.sim import SimulationError, SimulationResult, Simulator
 from repro.traces import PHILLY, SATURN, VENUS, TraceGenerator, TraceSpec, get_spec
 from repro.workloads import InterferenceModel, Job
 
@@ -23,6 +24,11 @@ __version__ = "1.0.0"
 __all__ = [
     "LucidConfig",
     "LucidScheduler",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultSpecError",
+    "RetryPolicy",
+    "SimulationError",
     "SimulationResult",
     "Simulator",
     "TraceGenerator",
@@ -77,21 +83,27 @@ def make_scheduler(name, history, **kwargs):
 
 
 def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
-                     seed=None, tracer=None, **scheduler_kwargs):
+                     seed=None, tracer=None, faults=None,
+                     **scheduler_kwargs):
     """Generate a trace, run one scheduler over it, return the results.
 
     Pass a :class:`repro.obs.RingBufferTracer` as ``tracer`` to collect
     structured events, metrics and (for Lucid) a decision audit on the
-    returned result's ``telemetry`` field.
+    returned result's ``telemetry`` field.  Pass a
+    :class:`repro.faults.FaultSpec` (or a spec string accepted by
+    ``FaultSpec.parse``) as ``faults`` to inject failures.
     """
     spec = get_spec(trace)
     if n_jobs is not None:
         spec = spec.with_jobs(n_jobs)
     if seed is not None:
         spec = spec.with_seed(seed)
+    if isinstance(faults, str):
+        faults = FaultSpec.parse(faults)
     generator = TraceGenerator(spec)
     cluster = generator.build_cluster()
     history = generator.generate_history()
     jobs = generator.generate()
     sched = make_scheduler(scheduler, history, **scheduler_kwargs)
-    return Simulator(cluster, jobs, sched, tracer=tracer).run()
+    return Simulator(cluster, jobs, sched, tracer=tracer,
+                     faults=faults).run()

@@ -99,6 +99,19 @@ def _trace_args(parser: argparse.ArgumentParser) -> None:
                         help="override the job count")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the trace seed")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault-injection spec: a JSON file, inline "
+                             "JSON, or key=value pairs (e.g. "
+                             "'node_mtbf=43200,crash_rate=0.2,seed=7')")
+
+
+def _fault_spec(args):
+    """Parsed --faults spec, or ``None`` when faults are disabled."""
+    raw = getattr(args, "faults", None)
+    if raw is None:
+        return None
+    from repro.faults import FaultSpec
+    return FaultSpec.parse(raw)
 
 
 def _load(args) -> tuple:
@@ -169,22 +182,46 @@ def _write_telemetry(out_dir: str, result: SimulationResult,
 
 
 def _run_traced(args, out_dir: str):
-    """Run one traced simulation and export its artifacts."""
+    """Run one traced simulation and export its artifacts.
+
+    The JSONL sink is flushed/closed in a ``finally`` block so a
+    simulation that raises mid-run still leaves a readable (partial)
+    event log behind for post-mortem analysis.
+    """
     os.makedirs(out_dir, exist_ok=True)
     cluster, history, jobs = _load(args)
     print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
           f"({len(cluster.vcs)} VCs) under {args.scheduler} [traced]")
     started = time.perf_counter()
-    with RingBufferTracer(sink=os.path.join(out_dir,
-                                            "events.jsonl")) as tracer:
+    events_path = os.path.join(out_dir, "events.jsonl")
+    tracer = RingBufferTracer(sink=events_path)
+    try:
         result = Simulator(cluster, jobs,
                            make_scheduler(args.scheduler, history),
-                           tracer=tracer).run()
+                           tracer=tracer, faults=_fault_spec(args)).run()
+    except BaseException:
+        print(f"simulation aborted; partial event log kept at {events_path}",
+              file=sys.stderr)
+        raise
+    finally:
+        tracer.close()
     elapsed = time.perf_counter() - started
     written = _write_telemetry(out_dir, result, tracer)
     for path in written:
         print(f"wrote {path}")
     return result, elapsed
+
+
+def _print_fault_summary(result: SimulationResult) -> None:
+    stats = result.faults
+    if stats is None:
+        return
+    print(f"faults: {stats.node_failures} node failures, "
+          f"{stats.job_crashes} job crashes, {stats.restarts} restarts, "
+          f"{stats.jobs_failed} permanent failures | "
+          f"goodput {stats.goodput:.1%}, "
+          f"lost {stats.lost_gpu_hours:.1f} GPU-h, "
+          f"MTTR {stats.mttr / 60.0:.1f} min")
 
 
 def cmd_simulate(args) -> int:
@@ -196,10 +233,12 @@ def cmd_simulate(args) -> int:
               f"({len(cluster.vcs)} VCs) under {args.scheduler}")
         started = time.perf_counter()
         result = Simulator(cluster, jobs,
-                           make_scheduler(args.scheduler, history)).run()
+                           make_scheduler(args.scheduler, history),
+                           faults=_fault_spec(args)).run()
         elapsed = time.perf_counter() - started
     print(ascii_table(_HEADERS, [_summary_row(args.scheduler, result,
                                               elapsed)]))
+    _print_fault_summary(result)
     if args.export:
         with open(args.export, "w", newline="") as handle:
             writer = csv.writer(handle)
@@ -219,6 +258,7 @@ def cmd_simulate(args) -> int:
 
 def cmd_trace(args) -> int:
     result, _ = _run_traced(args, args.out)
+    _print_fault_summary(result)
     telemetry = result.telemetry
 
     counts = telemetry.counts_by_kind()
@@ -255,8 +295,11 @@ def cmd_compare(args) -> int:
     for name in names:
         cluster, history, jobs = _load(args)
         started = time.perf_counter()
+        # A fresh spec per scheduler: every run replays the identical
+        # seeded fault timeline, keeping the comparison apples-to-apples.
         result = Simulator(cluster, jobs,
-                           make_scheduler(name, history)).run()
+                           make_scheduler(name, history),
+                           faults=_fault_spec(args)).run()
         rows.append(_summary_row(name, result,
                                  time.perf_counter() - started))
         logger.info("%s: done in %.1fs", name,
@@ -334,7 +377,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "models": cmd_models,
         "packing": cmd_packing,
     }
-    return handlers[args.command](args)
+    # User-input errors exit with code 2 and a one-line message instead of
+    # a traceback: missing files, unparsable traces, bad --faults specs.
+    from repro.faults import FaultSpecError
+    from repro.traces.io import TraceParseError
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        missing = getattr(exc, "filename", None) or exc
+        print(f"error: file not found: {missing}", file=sys.stderr)
+        return 2
+    except FaultSpecError as exc:
+        print(f"error: invalid --faults spec: {exc}", file=sys.stderr)
+        return 2
+    except TraceParseError as exc:
+        print(f"error: invalid trace: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

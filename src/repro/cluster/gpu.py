@@ -30,7 +30,7 @@ class GPU:
     """
 
     __slots__ = ("gpu_id", "node_id", "memory_mb", "speed_factor",
-                 "_residents")
+                 "healthy", "fault_slow", "_residents")
 
     def __init__(self, gpu_id: int, node_id: int,
                  memory_mb: float = GPU_MEMORY_MB,
@@ -41,6 +41,10 @@ class GPU:
         #: Relative throughput of this device's generation (1.0 = the
         #: paper's RTX 3090 testbed); see repro.cluster.hetero.
         self.speed_factor = speed_factor
+        #: Fault-injection state (repro.faults): an unhealthy device hosts
+        #: nothing; ``fault_slow`` < 1 marks a transient straggler window.
+        self.healthy = True
+        self.fault_slow = 1.0
         self._residents: Dict[int, float] = {}  # job_id -> reserved MB
 
     # ------------------------------------------------------------------
@@ -76,7 +80,8 @@ class GPU:
 
     def can_host(self, memory_mb: float) -> bool:
         """Whether another job with the given footprint may join."""
-        return (len(self._residents) < MAX_RESIDENTS
+        return (self.healthy
+                and len(self._residents) < MAX_RESIDENTS
                 and memory_mb <= self.memory_free_mb)
 
     # ------------------------------------------------------------------

@@ -28,7 +28,8 @@ class Node:
         Global id of this node's first GPU (ids are contiguous per node).
     """
 
-    __slots__ = ("node_id", "vc", "gpus", "cpus", "cpus_used", "gpu_type")
+    __slots__ = ("node_id", "vc", "gpus", "cpus", "cpus_used", "gpu_type",
+                 "healthy")
 
     def __init__(self, node_id: int, vc: str, n_gpus: int = GPUS_PER_NODE,
                  first_gpu_id: int = 0,
@@ -42,6 +43,9 @@ class Node:
         self.cpus_used = 0
         #: Optional GPU generation marker (repro.cluster.hetero).
         self.gpu_type = None
+        #: Fault-injection state (repro.faults): a failed node accepts no
+        #: placements until its NODE_RECOVER event fires.
+        self.healthy = True
 
     @property
     def n_gpus(self) -> int:
@@ -49,12 +53,12 @@ class Node:
 
     @property
     def free_gpus(self) -> List[GPU]:
-        """GPUs with no resident job."""
-        return [g for g in self.gpus if g.is_free]
+        """Healthy GPUs with no resident job."""
+        return [g for g in self.gpus if g.is_free and g.healthy]
 
     @property
     def n_free_gpus(self) -> int:
-        return sum(1 for g in self.gpus if g.is_free)
+        return sum(1 for g in self.gpus if g.is_free and g.healthy)
 
     @property
     def is_empty(self) -> bool:
@@ -66,7 +70,10 @@ class Node:
         return [g for g in self.gpus if not g.is_free]
 
     def shareable_gpus(self, memory_mb: float) -> List[GPU]:
-        """Occupied GPUs that could additionally host the given footprint."""
+        """Occupied GPUs that could additionally host the given footprint.
+
+        ``can_host`` already excludes unhealthy devices.
+        """
         return [g for g in self.gpus if not g.is_free and g.can_host(memory_mb)]
 
     def __repr__(self) -> str:

@@ -61,7 +61,7 @@ def _best_fit_single_node(nodes: Sequence[Node], gpu_num: int
 def _multi_node(nodes: Sequence[Node], gpu_num: int, gpus_per_node: int
                 ) -> Optional[List[GPU]]:
     full_nodes_needed, remainder = divmod(gpu_num, gpus_per_node)
-    empty = [n for n in nodes if n.is_empty]
+    empty = [n for n in nodes if n.is_empty and n.healthy]
     if len(empty) < full_nodes_needed:
         return None
     chosen: List[GPU] = []

@@ -212,7 +212,12 @@ class AffineJobpairBinder:
         mate_left = remaining_estimate(mate)
         if mate_left < self.min_mate_remaining:
             return "mate_finishing"  # packing buys nothing
-        gpus = find_shared(engine.cluster, engine.gpus_of(mate),
+        mate_gpus = engine.gpus_of(mate)
+        if any(not g.healthy or g.fault_slow < 1.0 for g in mate_gpus):
+            # Fault degradation: never pack onto a node that is draining
+            # after a failure or crawling through a straggler window.
+            return "node_draining"
+        gpus = find_shared(engine.cluster, mate_gpus,
                            job.profile.gpu_mem_mb)  # rule 1: OOM guard
         return None if gpus is not None else "memory"
 

@@ -237,6 +237,22 @@ class WorkloadEstimateModel:
             return float(np.mean(same_gpu))
         return self._global_mean
 
+    def safe_predict(self, job, default: float = 3600.0) -> float:
+        """:meth:`predict` that degrades to ``default`` instead of raising.
+
+        Graceful-degradation path (see :mod:`repro.faults`): an unfitted
+        model or a pathological feature row must not crash the scheduling
+        loop mid-simulation — a conservative constant estimate merely
+        worsens ordering quality.
+        """
+        try:
+            value = self.predict(job)
+        except Exception:
+            return default
+        if not np.isfinite(value) or value <= 0:
+            return default
+        return float(value)
+
     def predict_batch(self, jobs: Sequence) -> np.ndarray:
         return np.array([self.predict(j) for j in jobs])
 

@@ -176,9 +176,19 @@ class LucidScheduler(Scheduler):
     def on_job_submit(self, job: Job, now: float) -> None:
         self._submit_times.append(now)
         if self.profiler is not None and self.profiler.wants(job):
-            self.profiler.enqueue(job)
+            if not self.profiler.is_down:
+                self.profiler.enqueue(job)
+                self.trace_event("sched_submit", job, now,
+                                 queue_depth=len(self.queue),
+                                 routed="profiler")
+                return
+            # Graceful degradation: the profiling cluster is down, so the
+            # job runs unprofiled — no sharing score means the binder
+            # never packs it (conservative no-packing default).
+            self._admit_to_main(job)
             self.trace_event("sched_submit", job, now,
-                             queue_depth=len(self.queue), routed="profiler")
+                             queue_depth=len(self.queue),
+                             routed="main_degraded")
             return
         # Large-scale jobs skip profiling; metrics are collected on the fly.
         job.measured_profile = job.profile.with_noise(self._rng)
@@ -203,7 +213,10 @@ class LucidScheduler(Scheduler):
             job.sharing_score = self.packing_model.sharing_score(
                 job.measured_profile)
         if self.estimator is not None:
-            job.estimated_duration = self.estimator.predict(job)
+            # safe_predict: a missing profile or degraded model yields the
+            # conservative constant instead of crashing the schedule loop.
+            job.estimated_duration = self.estimator.safe_predict(
+                job, default=RUNTIME_AGNOSTIC_ESTIMATE)
         self.queue.append(job)
 
     def on_job_finish(self, job: Job, now: float) -> None:
@@ -211,6 +224,31 @@ class LucidScheduler(Scheduler):
         self._main_start.pop(job.job_id, None)
         if self.update_engine is not None:
             self.update_engine.collect(JobRecord.from_job(job), now)
+
+    def on_job_failed(self, job: Job, now: float,
+                      permanent: bool = False) -> None:
+        """Fault-retry routing (see :mod:`repro.faults`).
+
+        A job killed during profiling goes back through the profiler
+        (when it is up); anything else re-enters the main queue.  With
+        the profiling cluster down, jobs requeue unprofiled and fall
+        back to no-packing defaults.
+        """
+        self._main_start.pop(job.job_id, None)
+        if permanent:
+            self.trace_event("sched_failed", job, now,
+                             queue_depth=len(self.queue))
+            return
+        if (self.profiler is not None and self.profiler.wants(job)
+                and not job.profiled and job.measured_profile is None
+                and not self.profiler.is_down):
+            self.profiler.enqueue(job)
+            self.trace_event("sched_retry", job, now,
+                             queue_depth=len(self.queue), routed="profiler")
+            return
+        self._admit_to_main(job)
+        self.trace_event("sched_retry", job, now,
+                         queue_depth=len(self.queue), routed="main")
 
     # ------------------------------------------------------------------
     # Estimation helpers
@@ -296,6 +334,11 @@ class LucidScheduler(Scheduler):
         if now >= self._next_control:
             self._control(now)
             self._next_control = now + self.config.control_interval
+        if self.profiler is not None and self.profiler.is_down:
+            # Degradation: move waiting candidates to the main queue so
+            # they are not stranded behind dead profiler nodes.
+            for waiting in self.profiler.drain():
+                self._admit_to_main(waiting)
         if self.profiler is not None:
             started = self.profiler.allocate(self.engine)
             if self.audit is not None:

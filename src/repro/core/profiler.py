@@ -103,7 +103,10 @@ class NonIntrusiveProfiler:
         ``break`` in Algorithm 1).
         """
         started: List[Job] = []
-        nodes = self.cluster.nodes[: self.active_nodes]
+        nodes = [n for n in self.cluster.nodes[: self.active_nodes]
+                 if n.healthy]
+        if not nodes:
+            return started  # profiler cluster is down (fault injection)
         for job in self._ordered_queue():
             gpus = _best_fit_single_node(nodes, job.gpu_num)
             if gpus is None:
@@ -116,6 +119,26 @@ class NonIntrusiveProfiler:
             self.queue.remove(job)
             started.append(job)
         return started
+
+    # ------------------------------------------------------------------
+    # Fault awareness (repro.faults)
+    # ------------------------------------------------------------------
+    @property
+    def is_down(self) -> bool:
+        """Whether every active profiler node has failed.
+
+        Lucid degrades gracefully: while the profiling cluster is down,
+        submissions skip profiling and run unprofiled (conservative
+        no-packing defaults) instead of queueing behind dead nodes.
+        """
+        return not any(n.healthy for n in
+                       self.cluster.nodes[: self.active_nodes])
+
+    def drain(self) -> List[Job]:
+        """Hand back every queued (not yet started) profiling candidate."""
+        drained = list(self.queue)
+        self.queue.clear()
+        return drained
 
     # ------------------------------------------------------------------
     # Measurement

@@ -1,0 +1,21 @@
+"""Fault injection: deterministic failure events for the simulator.
+
+See :mod:`repro.faults.spec` for the configuration surface,
+:mod:`repro.faults.injector` for seed-driven schedule generation and
+:mod:`repro.faults.runtime` for the engine-side kill/retry/recovery
+semantics.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.runtime import FaultRuntime
+from repro.faults.spec import FaultScriptEntry, FaultSpec, FaultSpecError
+
+__all__ = [
+    "FaultInjector",
+    "FaultRuntime",
+    "FaultScriptEntry",
+    "FaultSpec",
+    "FaultSpecError",
+    "RetryPolicy",
+]

@@ -1,0 +1,203 @@
+"""Deterministic, seed-driven fault-event generation.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.spec.FaultSpec`
+into concrete simulator events *before* the run starts: per-node failure /
+recovery pairs (alternating exponential up/down times), cluster-wide job
+crashes and straggler windows (Poisson processes), plus any explicit
+script entries.  Every schedule is drawn from independent substreams of
+the spec's seed, so a given (spec, cluster shape) always produces the
+same fault timeline — benchmark comparisons across schedulers stay
+apples-to-apples, and a failing run can be replayed exactly.
+
+The only fire-time randomness is job-crash victim selection (the set of
+running jobs is unknowable in advance); it uses its own substream and the
+simulator is itself deterministic, so end-to-end runs remain bit-stable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import FaultScriptEntry, FaultSpec
+from repro.sim.events import EventKind
+
+__all__ = ["FaultInjector"]
+
+#: Substream ids: one independent RNG per fault category, so e.g. adding
+#: a crash rate never reshuffles the node-failure schedule.
+_STREAM_NODES = 0
+_STREAM_PROFILER = 1
+_STREAM_CRASHES = 2
+_STREAM_SLOWDOWNS = 3
+_STREAM_VICTIMS = 4
+
+
+class FaultInjector:
+    """Schedules fault events into a simulator's event queue.
+
+    Parameters
+    ----------
+    spec:
+        The fault model; see :class:`~repro.faults.spec.FaultSpec`.
+    retry_policy:
+        Override of the spec's retry policy (tests / sweeps).
+    """
+
+    def __init__(self, spec: FaultSpec,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
+        self.spec = spec
+        self.retry = retry_policy if retry_policy is not None \
+            else spec.retry_policy()
+        self._victim_rng = self._stream(_STREAM_VICTIMS)
+
+    def _stream(self, stream_id: int) -> np.random.Generator:
+        return np.random.default_rng([self.spec.seed, stream_id])
+
+    # ------------------------------------------------------------------
+    # Schedule generation
+    # ------------------------------------------------------------------
+    def schedule_into(self, engine) -> int:
+        """Push every fault event into ``engine.events``; returns count.
+
+        Called by the engine once, after the scheduler attached (Lucid's
+        profiler cluster only exists from that point on).
+        """
+        count = 0
+        count += self._schedule_node_failures(engine)
+        count += self._schedule_crashes(engine)
+        count += self._schedule_slowdowns(engine)
+        count += self._schedule_script(engine)
+        return count
+
+    def _schedule_node_failures(self, engine) -> int:
+        spec = self.spec
+        count = 0
+        if spec.node_mtbf is not None:
+            rng = self._stream(_STREAM_NODES)
+            for index in range(len(engine.cluster.nodes)):
+                for start, repair in self._failure_windows(
+                        rng, spec.node_mtbf, spec.node_mttr, spec.horizon):
+                    self._push_node_window(engine, "main", index, start,
+                                           repair)
+                    count += 2
+        profiler = self._profiler_cluster(engine)
+        if spec.profiler_mtbf is not None and profiler is not None:
+            rng = self._stream(_STREAM_PROFILER)
+            for index in range(len(profiler.nodes)):
+                for start, repair in self._failure_windows(
+                        rng, spec.profiler_mtbf, spec.profiler_mttr,
+                        spec.horizon):
+                    self._push_node_window(engine, "profiler", index, start,
+                                           repair)
+                    count += 2
+        return count
+
+    @staticmethod
+    def _failure_windows(rng: np.random.Generator, mtbf: float, mttr: float,
+                         horizon: float) -> List[Tuple[float, float]]:
+        """Alternating up/down sampling of one node's failure windows."""
+        windows: List[Tuple[float, float]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mtbf))
+            if t >= horizon:
+                return windows
+            repair = max(1.0, float(rng.exponential(mttr)))
+            windows.append((t, repair))
+            t += repair
+
+    @staticmethod
+    def _push_node_window(engine, target: str, index: int, start: float,
+                          repair: float) -> None:
+        engine.events.push(start, EventKind.NODE_FAIL,
+                           payload=(target, index))
+        engine.events.push(start + repair, EventKind.NODE_RECOVER,
+                           payload=(target, index))
+
+    def _schedule_crashes(self, engine) -> int:
+        spec = self.spec
+        if spec.crash_rate <= 0:
+            return 0
+        rng = self._stream(_STREAM_CRASHES)
+        count = 0
+        for t in self._poisson_times(rng, 3600.0 / spec.crash_rate,
+                                     spec.horizon):
+            engine.events.push(t, EventKind.JOB_CRASH, payload=None)
+            count += 1
+        return count
+
+    def _schedule_slowdowns(self, engine) -> int:
+        spec = self.spec
+        if spec.slowdown_rate <= 0:
+            return 0
+        rng = self._stream(_STREAM_SLOWDOWNS)
+        n_nodes = len(engine.cluster.nodes)
+        count = 0
+        for t in self._poisson_times(rng, 3600.0 / spec.slowdown_rate,
+                                     spec.horizon):
+            index = int(rng.integers(n_nodes))
+            duration = max(60.0, float(rng.exponential(
+                spec.slowdown_duration)))
+            self._push_slowdown(engine, "main", index, t,
+                                spec.slowdown_factor, duration)
+            count += 2
+        return count
+
+    @staticmethod
+    def _poisson_times(rng: np.random.Generator, mean_gap: float,
+                       horizon: float) -> List[float]:
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mean_gap))
+            if t >= horizon:
+                return times
+            times.append(t)
+
+    @staticmethod
+    def _push_slowdown(engine, target: str, index: int, start: float,
+                       factor: float, duration: float) -> None:
+        engine.events.push(start, EventKind.SLOWDOWN,
+                           payload=(target, index, factor))
+        engine.events.push(start + duration, EventKind.SLOWDOWN_END,
+                           payload=(target, index))
+
+    def _schedule_script(self, engine) -> int:
+        count = 0
+        for entry in self.spec.script:
+            count += self._schedule_entry(engine, entry)
+        return count
+
+    def _schedule_entry(self, engine, entry: FaultScriptEntry) -> int:
+        if entry.kind == "node_fail":
+            repair = entry.duration if entry.duration is not None \
+                else self.spec.node_mttr
+            self._push_node_window(engine, entry.target, entry.node,
+                                   entry.time, repair)
+            return 2
+        if entry.kind == "job_crash":
+            engine.events.push(entry.time, EventKind.JOB_CRASH,
+                               payload=entry.job)
+            return 1
+        # slowdown (spec validation guarantees the kind set)
+        duration = entry.duration if entry.duration is not None \
+            else self.spec.slowdown_duration
+        self._push_slowdown(engine, entry.target, entry.node, entry.time,
+                            entry.factor, duration)
+        return 2
+
+    @staticmethod
+    def _profiler_cluster(engine):
+        """Lucid's profiling cluster, or ``None`` for baseline schedulers."""
+        profiler = getattr(engine.scheduler, "profiler", None)
+        return getattr(profiler, "cluster", None)
+
+    # ------------------------------------------------------------------
+    # Fire-time choices
+    # ------------------------------------------------------------------
+    def pick_victim(self, running_ids: List[int]) -> int:
+        """Seeded-random victim among currently running job ids."""
+        return running_ids[int(self._victim_rng.integers(len(running_ids)))]

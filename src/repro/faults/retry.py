@@ -1,0 +1,65 @@
+"""Per-job retry policy: exponential backoff and checkpointed progress.
+
+When a fault kills a running job, the engine consults the active
+:class:`RetryPolicy` to decide (a) how much progress survives — the job
+resumes from its last checkpoint, a multiple of ``checkpoint_interval``
+exclusive-execution seconds — and (b) when the job may re-enter the
+pending queue: after an exponentially growing backoff, until the retry
+budget is exhausted and the job fails permanently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/checkpoint knobs applied to every job.
+
+    Attributes
+    ----------
+    max_retries:
+        Crashes a job survives; crash number ``max_retries + 1`` is a
+        permanent failure (terminal ``FAILED`` state).
+    backoff_base, backoff_factor, backoff_cap:
+        The n-th retry waits ``min(cap, base * factor**(n-1))`` seconds
+        before the job is handed back to its scheduler.
+    checkpoint_interval:
+        Checkpoint cadence in exclusive-execution seconds; a crashed job
+        resumes from ``floor(progress / interval) * interval``.  ``0``
+        disables checkpointing (crashes restart from scratch).
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 3600.0
+    checkpoint_interval: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff bounds must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return min(self.backoff_cap,
+                   self.backoff_base * self.backoff_factor ** (attempt - 1))
+
+    def checkpointed_progress(self, progress: float) -> float:
+        """Progress surviving a crash: the last completed checkpoint."""
+        interval = self.checkpoint_interval
+        if interval <= 0:
+            return 0.0
+        return math.floor(progress / interval) * interval

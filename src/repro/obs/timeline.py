@@ -30,10 +30,17 @@ _US = 1e6
 _PROFILER_PID_BASE = 10_000
 #: pid of the synthetic "scheduler" process (submits, decisions, queue).
 _SCHED_PID = 99_999
+#: pid of the synthetic "faults" process (failures, crashes, stragglers).
+_FAULT_PID = 88_888
 
 #: Event kinds that close a job's execution interval (``time_limit``
-#: itself does not: the scheduler decides whether to stop the run).
-_CLOSERS = ("stop", "preempt", "finish")
+#: itself does not: the scheduler decides whether to stop the run;
+#: ``crash`` does — the job is off its GPUs from that instant).
+_CLOSERS = ("stop", "preempt", "finish", "crash")
+
+#: Fault-injection kinds rendered as instants on the faults track.
+_FAULT_INSTANTS = ("node_fail", "node_recover", "crash", "retry",
+                   "job_failed", "slowdown", "slowdown_end")
 
 
 def build_chrome_trace(events: Iterable[TraceEvent],
@@ -94,6 +101,24 @@ def build_chrome_trace(events: Iterable[TraceEvent],
             })
 
     for event in events:
+        if event.kind in _FAULT_INSTANTS:
+            # Faults get their own track; "crash" additionally closes the
+            # victim's execution interval below.
+            label = event.kind if event.job_id is None \
+                else f"{event.kind} job {event.job_id}"
+            node = event.data.get("node")
+            if node is not None:
+                label = f"{label} (node {node})"
+            args: Dict[str, Any] = dict(event.data)
+            if event.job_id is not None:
+                args["job_id"] = event.job_id
+            trace.append({
+                "name": label,
+                "cat": "fault", "ph": "i", "s": "g",
+                "ts": event.time * _US,
+                "pid": _FAULT_PID, "tid": 0,
+                "args": args,
+            })
         if event.kind == "start":
             args = {
                 "name": event.data.get("name", f"job {event.job_id}"),
@@ -149,6 +174,9 @@ def build_chrome_trace(events: Iterable[TraceEvent],
     if any(e["pid"] == _SCHED_PID for e in trace):
         meta.append({"name": "process_name", "ph": "M", "pid": _SCHED_PID,
                      "tid": 0, "args": {"name": "scheduler"}})
+    if any(e["pid"] == _FAULT_PID for e in trace):
+        meta.append({"name": "process_name", "ph": "M", "pid": _FAULT_PID,
+                     "tid": 0, "args": {"name": "faults"}})
 
     return {"traceEvents": meta + trace, "displayTimeUnit": "ms"}
 

@@ -49,6 +49,14 @@ ENGINE_EVENT_KINDS = (
     "speed",       # a running job's effective speed changed
     "decision",    # a scheduler placement decision (see repro.obs.audit)
     "refit",       # the Update Engine refreshed a learned model
+    # Fault-injection kinds (see repro.faults):
+    "node_fail",     # a node went down, killing its residents
+    "node_recover",  # a failed node returned to service
+    "crash",         # a fault killed a running job (will retry)
+    "retry",         # a crashed job's backoff expired; requeued
+    "job_failed",    # retry budget exhausted; job abandoned
+    "slowdown",      # a node entered a straggler window
+    "slowdown_end",  # the straggler window closed
 )
 
 

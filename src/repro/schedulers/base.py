@@ -64,6 +64,23 @@ class Scheduler:
     def on_time_limit(self, job: Job, now: float) -> None:
         pass
 
+    def on_job_failed(self, job: Job, now: float,
+                      permanent: bool = False) -> None:
+        """A fault killed this job (see :mod:`repro.faults`).
+
+        Non-permanent failures arrive after the job's retry backoff
+        expired, ready to requeue; permanent ones are terminal — the
+        engine has already recorded the job as FAILED, the scheduler
+        just drops it.
+        """
+        if permanent:
+            self.trace_event("sched_failed", job, now,
+                             queue_depth=len(self.queue))
+            return
+        self.queue.append(job)
+        self.trace_event("sched_retry", job, now,
+                         queue_depth=len(self.queue))
+
     def schedule(self, now: float) -> None:
         raise NotImplementedError
 

@@ -1,9 +1,10 @@
 """Discrete-event simulation substrate."""
 
-from repro.sim.engine import RunState, Simulator
+from repro.sim.engine import RunState, SimulationError, Simulator
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.metrics import (
     LARGE_JOB_GPUS,
+    FaultStats,
     ScaleStats,
     SimulationResult,
     UtilizationSummary,
@@ -13,11 +14,13 @@ from repro.sim.metrics import (
 
 __all__ = [
     "RunState",
+    "SimulationError",
     "Simulator",
     "Event",
     "EventKind",
     "EventQueue",
     "LARGE_JOB_GPUS",
+    "FaultStats",
     "ScaleStats",
     "SimulationResult",
     "UtilizationSummary",

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
@@ -37,13 +37,24 @@ from repro.obs.logutil import get_logger
 from repro.obs.metrics import MetricsRegistry, Telemetry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import EventKind, EventQueue
-from repro.sim.metrics import SimulationResult, UtilizationTracker
+from repro.sim.metrics import FaultStats, SimulationResult, UtilizationTracker
 from repro.workloads.colocation import InterferenceModel
 from repro.workloads.job import Job, JobRecord, JobStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.faults
+    # imports repro.sim submodules; the runtime import happens lazily in
+    # :meth:`Simulator._arm_faults`)
+    from repro.faults.injector import FaultInjector
+    from repro.faults.runtime import FaultRuntime
+    from repro.faults.spec import FaultSpec
 
 _EPS = 1e-6
 
 logger = get_logger("sim.engine")
+
+
+class SimulationError(RuntimeError):
+    """A simulation invariant was violated (stale event, deadlock, ...)."""
 
 
 @dataclass
@@ -87,7 +98,9 @@ class Simulator:
                  interference: Optional[InterferenceModel] = None,
                  max_events: int = 20_000_000,
                  model_cpu: bool = False,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[Union["FaultSpec", "FaultInjector"]] = None
+                 ) -> None:
         self.cluster = cluster
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -108,6 +121,12 @@ class Simulator:
         self._tracing = self.tracer.enabled
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if self._tracing else None)
+
+        #: Fault model (:class:`~repro.faults.spec.FaultSpec` or a prebuilt
+        #: injector).  ``None`` — and a spec with no rates/script — leaves
+        #: the run bit-identical to a fault-free simulation.
+        self.faults = faults
+        self.fault_runtime: Optional["FaultRuntime"] = None
 
         self._node_index = {node.node_id: node for node in cluster.nodes}
         self.now = 0.0
@@ -230,6 +249,7 @@ class Simulator:
                     len(self.jobs), self.cluster.n_gpus,
                     getattr(self.scheduler, "name", type(self.scheduler)))
         self.scheduler.attach(self)
+        self._arm_faults()
         for job in self.jobs.values():
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
         self._maybe_schedule_tick()
@@ -240,10 +260,11 @@ class Simulator:
                 self._invoke_scheduler()
                 if self._unfinished > 0 and not self.events:
                     stuck = [j.job_id for j in self.jobs.values()
-                             if j.status != JobStatus.FINISHED]
+                             if j.status not in (JobStatus.FINISHED,
+                                                 JobStatus.FAILED)]
                     logger.error("deadlock at t=%.0fs: %d unfinished jobs",
                                  self.now, len(stuck))
-                    raise RuntimeError(
+                    raise SimulationError(
                         f"simulation deadlocked at t={self.now:.0f}s with "
                         f"{len(stuck)} unfinished jobs (first: {stuck[:5]})")
                 continue
@@ -261,10 +282,36 @@ class Simulator:
         self.utilization.update(self.now)
         logger.info("run done: makespan %.0fs, %d events dispatched",
                     self.now, self._events_processed)
+        fault_stats: Optional[FaultStats] = None
+        if self.fault_runtime is not None:
+            fault_stats = self.fault_runtime.stats()
+            if self._tracing:
+                self.fault_runtime.export_metrics(self.metrics, fault_stats)
         return SimulationResult(records=list(self.records),
                                 makespan=self.now,
                                 utilization=self.utilization.summary(),
-                                telemetry=self._build_telemetry())
+                                telemetry=self._build_telemetry(),
+                                faults=fault_stats)
+
+    def _arm_faults(self) -> None:
+        """Build the fault runtime and pre-generate the fault timeline.
+
+        Runs after ``scheduler.attach`` so profiler-cluster faults can
+        address Lucid's profiling nodes.  A disabled spec arms nothing:
+        the run stays bit-identical to a fault-free one.
+        """
+        if self.faults is None:
+            return
+        from repro.faults.injector import FaultInjector
+        from repro.faults.runtime import FaultRuntime
+        injector = (self.faults if isinstance(self.faults, FaultInjector)
+                    else FaultInjector(self.faults))
+        if not injector.spec.enabled:
+            return
+        self.fault_runtime = FaultRuntime(self, injector)
+        scheduled = injector.schedule_into(self)
+        logger.info("fault injection armed: %d events from seed %d",
+                    scheduled, injector.spec.seed)
 
     def _invoke_scheduler(self) -> None:
         """Run one scheduling pass, timing it when tracing is on."""
@@ -311,6 +358,8 @@ class Simulator:
             self._handle_time_limit(event)
         elif event.kind is EventKind.TICK:
             self._tick_scheduled = False
+        elif self.fault_runtime is not None:
+            self.fault_runtime.dispatch(event, self.now)
 
     def _handle_finish(self, event) -> None:
         state = self.run_states.get(event.job_id)
@@ -365,7 +414,9 @@ class Simulator:
     def _require_state(self, job: Job) -> RunState:
         state = self.run_states.get(job.job_id)
         if state is None:
-            raise RuntimeError(f"job {job.job_id} is not running")
+            raise SimulationError(
+                f"job {job.job_id} ({job.name!r}, status "
+                f"{job.status.value}) is not running at t={self.now:.0f}s")
         return state
 
     def _integrate(self, job: Job, state: RunState) -> None:
@@ -403,8 +454,10 @@ class Simulator:
         spanned = len({gpu.node_id for gpu in state.gpus})
         if spanned > min_nodes:
             speed *= self.FRAGMENTATION_PENALTY
-        # Heterogeneous generations: the slowest device gates the job.
-        speed *= min(gpu.speed_factor for gpu in state.gpus)
+        # Heterogeneous generations and straggler windows: the slowest
+        # device gates the job (fault_slow is exactly 1.0 outside fault
+        # runs, so the product is IEEE-identical to speed_factor alone).
+        speed *= min(gpu.speed_factor * gpu.fault_slow for gpu in state.gpus)
         if self.model_cpu:
             speed *= self._cpu_factor(job, state)
         return speed

@@ -17,6 +17,15 @@ class EventKind(enum.Enum):
     TIME_LIMIT = "time_limit"  # a bounded run (profiling) hits its limit
     TICK = "tick"              # periodic scheduler wake-up
 
+    # Fault-injection events (see :mod:`repro.faults`); payloads identify
+    # the target node / job / slowdown factor.
+    NODE_FAIL = "node_fail"        # a node goes down, killing residents
+    NODE_RECOVER = "node_recover"  # a failed node returns to service
+    JOB_CRASH = "job_crash"        # a single running job dies
+    SLOWDOWN = "slowdown"          # a node's GPUs become stragglers
+    SLOWDOWN_END = "slowdown_end"  # the straggler window closes
+    RETRY = "retry"                # a crashed job's backoff expires
+
 
 @dataclass(frozen=True, order=True)
 class Event:
@@ -32,6 +41,8 @@ class Event:
     kind: EventKind = field(compare=False)
     job_id: Optional[int] = field(default=None, compare=False)
     epoch: int = field(default=0, compare=False)
+    #: Event-kind-specific data (fault targets etc.); never compared.
+    payload: Any = field(default=None, compare=False)
 
 
 class EventQueue:
@@ -48,10 +59,10 @@ class EventQueue:
         return bool(self._heap)
 
     def push(self, time: float, kind: EventKind, job_id: Optional[int] = None,
-             epoch: int = 0) -> Event:
+             epoch: int = 0, payload: Any = None) -> Event:
         """Schedule an event and return it."""
         event = Event(time=time, seq=next(self._counter), kind=kind,
-                      job_id=job_id, epoch=epoch)
+                      job_id=job_id, epoch=epoch, payload=payload)
         heapq.heappush(self._heap, event)
         return event
 

@@ -78,6 +78,31 @@ class UtilizationSummary:
     memory_used: float
 
 
+@dataclass(frozen=True)
+class FaultStats:
+    """Failure-aware accounting of one fault-injected run.
+
+    Work is measured in exclusive-execution GPU units (the engine's
+    progress model): ``goodput`` is the fraction of executed GPU-work
+    that landed in finished jobs, the complement being checkpoint
+    rollback losses plus the progress of permanently failed jobs.
+    """
+
+    node_failures: int = 0
+    node_recoveries: int = 0
+    slowdowns: int = 0
+    #: Fault kills of running jobs (node failures + targeted crashes).
+    job_crashes: int = 0
+    #: Requeues granted by the retry policy.
+    restarts: int = 0
+    #: Jobs that exhausted their retry budget (terminal FAILED).
+    jobs_failed: int = 0
+    lost_gpu_hours: float = 0.0
+    goodput: float = 1.0
+    #: Mean time to repair across completed node recoveries (seconds).
+    mttr: float = 0.0
+
+
 @dataclass
 class SimulationResult:
     """All measurements from one simulation run."""
@@ -89,6 +114,9 @@ class SimulationResult:
     #: the run was traced; ``None`` — and every other field bit-identical
     #: to an untraced run — otherwise.
     telemetry: Optional["Telemetry"] = None
+    #: Failure accounting when fault injection was armed; ``None`` (and
+    #: nothing else changed) on fault-free runs.
+    faults: Optional[FaultStats] = None
 
     # ------------------------------------------------------------------
     # Core aggregates
@@ -158,6 +186,14 @@ class SimulationResult:
     def total_preemptions(self) -> int:
         return sum(r.preemptions for r in self.records)
 
+    def total_restarts(self) -> int:
+        """Fault-retry restarts across all jobs (0 on fault-free runs)."""
+        return sum(r.restarts for r in self.records)
+
+    def failed_jobs(self) -> List[JobRecord]:
+        """Jobs that exhausted their retry budget."""
+        return [r for r in self.records if r.failed]
+
     # ------------------------------------------------------------------
     # Distributions
     # ------------------------------------------------------------------
@@ -177,7 +213,7 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, float]:
         """Scalar summary used by benchmark tables."""
-        return {
+        out = {
             "n_jobs": float(self.n_jobs),
             "makespan_hrs": self.makespan / 3600.0,
             "avg_jct_hrs": self.avg_jct / 3600.0,
@@ -189,6 +225,17 @@ class SimulationResult:
             "profiler_finish_rate": self.profiler_finish_rate(),
             "preemptions": float(self.total_preemptions()),
         }
+        if self.faults is not None:
+            out.update({
+                "node_failures": float(self.faults.node_failures),
+                "job_crashes": float(self.faults.job_crashes),
+                "restarts": float(self.faults.restarts),
+                "jobs_failed": float(self.faults.jobs_failed),
+                "lost_gpu_hours": self.faults.lost_gpu_hours,
+                "goodput": self.faults.goodput,
+                "mttr_hrs": self.faults.mttr / 3600.0,
+            })
+        return out
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,10 @@ class JobStatus(enum.Enum):
     RUNNING = "running"
     PREEMPTED = "preempted"
     FINISHED = "finished"
+    #: Killed by a fault, waiting out its retry backoff.
+    CRASHED = "crashed"
+    #: Terminal: retry budget exhausted, job abandoned.
+    FAILED = "failed"
 
 
 @dataclass
@@ -90,6 +94,10 @@ class Job:
     profiled: bool = False
     finished_in_profiler: bool = False
     measured_profile: Optional[ResourceProfile] = None
+    #: Fault-injection state: crashes survived so far and the exclusive-
+    #: execution seconds rolled back to the last checkpoint across them.
+    restarts: int = 0
+    lost_work: float = 0.0
 
     # Scratch fields owned by whichever scheduler is active.
     sharing_score: Optional[int] = None
@@ -172,6 +180,10 @@ class JobRecord:
     finished_in_profiler: bool
     profile: Optional[ResourceProfile] = None
     deadline: Optional[float] = None
+    #: Fault-injection outcome: restarts survived; ``failed`` marks a job
+    #: that exhausted its retry budget (its ``jct`` is time-to-abandonment).
+    restarts: int = 0
+    failed: bool = False
 
     @property
     def met_deadline(self) -> Optional[bool]:
@@ -198,4 +210,6 @@ class JobRecord:
             finished_in_profiler=job.finished_in_profiler,
             profile=job.measured_profile or job.profile,
             deadline=job.deadline,
+            restarts=job.restarts,
+            failed=job.status is JobStatus.FAILED,
         )
