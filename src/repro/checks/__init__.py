@@ -1,0 +1,40 @@
+"""Reproducibility tooling: determinism linter + simulation-state sanitizer.
+
+Every number this reproduction reports rests on the simulator being
+bit-deterministic under a seed.  This package defends that guarantee with
+two tools:
+
+* :mod:`repro.checks.lint` — an AST-based determinism linter with
+  repo-specific rules (RPR001..RPR008): no global RNG calls, no wall-clock
+  reads in simulation paths, no unordered ``set``/dict-view iteration in
+  decision code, no float ``==`` on simulated time, and more.  Run it with
+  ``python -m repro lint src tests``.
+* :mod:`repro.checks.sanitizer` — a runtime :class:`SimSanitizer` that,
+  when enabled via ``Simulator(sanitize=True)`` / ``--sanitize``, asserts
+  cluster/job state invariants at every event dispatch (GPU allocation
+  conservation, monotone event clock, legal job state-machine transitions,
+  queue consistency, fault-flag coherence).
+"""
+
+from repro.checks.lint import (
+    RULES,
+    Finding,
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.checks.sanitizer import SanitizerError, SimSanitizer
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "SanitizerError",
+    "SimSanitizer",
+]

@@ -1,0 +1,654 @@
+"""AST-based determinism linter (the ``RPR`` rules).
+
+The simulator's headline numbers (Table 3/4 deltas, the <4.6% fidelity
+claim) are only meaningful if a run is *bit-deterministic under a seed*.
+This linter statically enforces the coding rules that protect that
+property as the codebase grows.  Rules are repo-specific by design — they
+encode this project's conventions, not generic style:
+
+========  ============================================================
+RPR001    No global ``random.*`` / ``np.random.*`` convenience calls in
+          simulation packages; randomness must flow through an injected,
+          seeded ``np.random.Generator``.
+RPR002    No wall-clock reads (``time.time``, ``time.monotonic``,
+          ``time.perf_counter``, ``datetime.now``, ...) in simulation
+          paths; simulated time is ``engine.now``, full stop.
+RPR003    No iteration over a raw ``set`` / ``frozenset`` / dict view in
+          scheduling or placement decision code without ``sorted(...)``
+          — unordered iteration makes tie-breaking depend on hash seeds
+          or insertion history.
+RPR004    No float ``==`` / ``!=`` against simulated-time expressions;
+          compare with an epsilon or ``<=`` / ``>=``.
+RPR005    No mutable default arguments (shared state across calls).
+RPR006    ``EventKind`` exhaustiveness: every enum member must be
+          dispatched (``sim/engine.py`` or ``faults/runtime.py``) and
+          mapped to a timeline track (``obs/timeline.py``).
+RPR007    No bare or overbroad ``except`` (``Exception``/
+          ``BaseException``) unless the handler re-raises.
+RPR008    Public sim entry points (``simulate*``/``generate*``/
+          ``sample*``/...) must thread a ``seed``/``rng``/spec
+          parameter so callers control determinism.
+========  ============================================================
+
+Suppression: append ``# repro: noqa`` (all rules) or
+``# repro: noqa RPR002`` (specific codes, comma-separated) to the
+offending line, ideally with a justification comment nearby.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: code -> (one-line summary, fix hint).
+RULES: Dict[str, Tuple[str, str]] = {
+    "RPR000": ("file does not parse",
+               "fix the syntax error; unparsable files cannot be vetted"),
+    "RPR001": ("global RNG call in a simulation package",
+               "inject a seeded np.random.Generator (np.random.default_rng"
+               "(seed)) and thread it through"),
+    "RPR002": ("wall-clock read in a simulation path",
+               "use the engine's simulated clock (engine.now); wall time "
+               "breaks replay determinism"),
+    "RPR003": ("iteration over an unordered collection in decision code",
+               "wrap the iterable in sorted(...) so tie-breaking is "
+               "deterministic"),
+    "RPR004": ("float equality against simulated time",
+               "compare with an epsilon (abs(a - b) <= eps) or an "
+               "inequality"),
+    "RPR005": ("mutable default argument",
+               "default to None and create the list/dict/set inside the "
+               "function"),
+    "RPR006": ("EventKind member not exhaustively handled",
+               "dispatch the member in sim/engine.py (or faults/runtime.py) "
+               "and map its value in obs/timeline.py EVENT_KIND_TRACKS"),
+    "RPR007": ("bare or overbroad except clause",
+               "catch the specific exceptions the block can raise, or "
+               "re-raise after cleanup"),
+    "RPR008": ("public sim entry point without a seed/rng parameter",
+               "add a seed/rng parameter (or take a *Spec object that "
+               "carries one) so callers control determinism"),
+}
+
+#: Packages whose modules are "simulation paths" (RPR001/RPR002/RPR004).
+SIM_PACKAGES = frozenset(
+    {"sim", "core", "schedulers", "faults", "workloads", "cluster"})
+#: Packages holding scheduling/placement decision code (RPR003).
+DECISION_PACKAGES = frozenset(
+    {"sim", "core", "schedulers", "faults", "cluster"})
+#: Packages whose public entry points must thread a seed (RPR008).
+ENTRYPOINT_PACKAGES = frozenset(
+    {"sim", "core", "schedulers", "faults", "workloads", "traces"})
+
+#: np.random attributes that are legitimate Generator plumbing.
+_NP_RANDOM_ALLOWED = frozenset({
+    "Generator", "BitGenerator", "SeedSequence", "default_rng",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+#: Wall-clock functions of the ``time`` module.
+_TIME_BANNED = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+#: Wall-clock constructors on datetime/date objects.
+_DATETIME_BANNED = frozenset({"now", "utcnow", "today"})
+#: Attribute calls that return dict views.
+_DICT_VIEW_ATTRS = frozenset({"keys", "values", "items"})
+#: Set methods whose result is another unordered set.
+_SET_COMBINATORS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+#: Identifier fragments that denote simulated-time values (RPR004).
+_TIME_NAMES = frozenset({
+    "now", "time", "submit_time", "finish_time", "first_start_time",
+    "start_time", "end_time", "last_update", "time_limit_at", "eta",
+    "deadline", "makespan", "timestamp", "peek_time", "arrival_time",
+})
+#: Entry-point name prefixes that must thread a seed (RPR008).
+_ENTRYPOINT_PREFIXES = (
+    "simulate", "generate", "sample", "perturb", "synthesize",
+    "randomize", "shuffle", "jitter",
+)
+#: Parameter names that satisfy RPR008 (a *Spec carries its own seed).
+_SEED_PARAMS = frozenset({"seed", "rng", "random_state", "generator", "spec"})
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, pointing at a source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: {self.code} "
+                f"{self.message} (hint: {self.hint})")
+
+
+def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
+    """``line -> suppressed codes`` (``None`` = every code) from comments."""
+    suppressed: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressed[lineno] = None
+        else:
+            suppressed[lineno] = {c.strip() for c in codes.split(",")}
+    return suppressed
+
+
+def _path_packages(path: str) -> Set[str]:
+    """Directory names along ``path`` (used for rule scoping)."""
+    parts = os.path.normpath(path).split(os.sep)
+    return set(parts[:-1])
+
+
+class _Scope:
+    """Per-function tracking of locals bound to set-typed values."""
+
+    def __init__(self) -> None:
+        self.set_vars: Set[str] = set()
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """Single-file pass implementing rules RPR001..RPR005, 7, 8."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        packages = _path_packages(path)
+        self.in_sim = bool(packages & SIM_PACKAGES)
+        self.in_decision = bool(packages & DECISION_PACKAGES)
+        self.in_entrypoint = bool(packages & ENTRYPOINT_PACKAGES)
+        # Import aliases discovered while walking.
+        self.random_aliases: Set[str] = set()       # stdlib random module
+        self.random_funcs: Set[str] = set()         # from random import X
+        self.numpy_aliases: Set[str] = set()        # numpy / np
+        self.np_random_aliases: Set[str] = set()    # numpy.random as npr
+        self.time_aliases: Set[str] = set()         # time module
+        self.time_funcs: Set[str] = set()           # from time import X
+        self.datetime_names: Set[str] = set()       # datetime/date classes
+        self.datetime_modules: Set[str] = set()     # datetime module
+        self._scopes: List[_Scope] = [_Scope()]
+        self._func_depth = 0
+        self._class_depth = 0
+
+    # -- helpers -------------------------------------------------------
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            code=code, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message, hint=RULES[code][1]))
+
+    def _is_set_var(self, name: str) -> bool:
+        return any(name in scope.set_vars for scope in reversed(self._scopes))
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.np_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add(bound)
+            elif alias.name == "time":
+                self.time_aliases.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_modules.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "random":
+                self.random_funcs.add(bound)
+            elif node.module == "numpy" and alias.name == "random":
+                self.np_random_aliases.add(bound)
+            elif node.module == "time":
+                self.time_funcs.add(bound)
+            elif node.module == "datetime" and alias.name in ("datetime",
+                                                              "date"):
+                self.datetime_names.add(bound)
+        self.generic_visit(node)
+
+    # -- RPR001 / RPR002: calls ---------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_sim:
+            self._check_rng_call(node)
+            self._check_clock_call(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.random_funcs:
+                self._report("RPR001", node,
+                             f"call to random.{func.id}() uses the global "
+                             "stdlib RNG")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = func.value
+        # random.<anything>(...)
+        if isinstance(owner, ast.Name) and owner.id in self.random_aliases:
+            self._report("RPR001", node,
+                         f"call to random.{func.attr}() uses the global "
+                         "stdlib RNG")
+            return
+        # np.random.<attr>(...) or npr.<attr>(...)
+        is_np_random = (
+            (isinstance(owner, ast.Attribute) and owner.attr == "random"
+             and isinstance(owner.value, ast.Name)
+             and owner.value.id in self.numpy_aliases)
+            or (isinstance(owner, ast.Name)
+                and owner.id in self.np_random_aliases))
+        if not is_np_random:
+            return
+        if func.attr not in _NP_RANDOM_ALLOWED:
+            self._report("RPR001", node,
+                         f"np.random.{func.attr}() draws from the global "
+                         "NumPy RNG")
+        elif func.attr == "default_rng" and not node.args and not node.keywords:
+            self._report("RPR001", node,
+                         "np.random.default_rng() without a seed is "
+                         "entropy-seeded (nondeterministic)")
+
+    def _check_clock_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.time_funcs and func.id in _TIME_BANNED:
+                self._report("RPR002", node,
+                             f"{func.id}() reads the wall clock")
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = func.value
+        if (isinstance(owner, ast.Name) and owner.id in self.time_aliases
+                and func.attr in _TIME_BANNED):
+            self._report("RPR002", node,
+                         f"time.{func.attr}() reads the wall clock")
+            return
+        if func.attr not in _DATETIME_BANNED:
+            return
+        if isinstance(owner, ast.Name) and owner.id in self.datetime_names:
+            self._report("RPR002", node,
+                         f"datetime.{func.attr}() reads the wall clock")
+        elif (isinstance(owner, ast.Attribute)
+              and owner.attr in ("datetime", "date")
+              and isinstance(owner.value, ast.Name)
+              and owner.value.id in self.datetime_modules):
+            self._report("RPR002", node,
+                         f"datetime.{owner.attr}.{func.attr}() reads the "
+                         "wall clock")
+
+    # -- RPR003: unordered iteration ----------------------------------
+    def _is_unordered(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return self._is_set_var(node.id)
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            # set algebra: a | b, a - b, ... on a known set operand
+            return (self._is_unordered(node.left)
+                    or self._is_unordered(node.right))
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in ("set", "frozenset")
+        if isinstance(func, ast.Attribute):
+            if func.attr in _DICT_VIEW_ATTRS and not node.args:
+                return True
+            if func.attr in _SET_COMBINATORS:
+                return self._is_unordered(func.value)
+        return False
+
+    def _check_iterable(self, iterable: ast.expr) -> None:
+        if not self.in_decision:
+            return
+        if isinstance(iterable, ast.Call) and isinstance(
+                iterable.func, ast.Name) and iterable.func.id == "sorted":
+            return
+        if self._is_unordered(iterable):
+            what = ("a dict view" if isinstance(iterable, ast.Call)
+                    and isinstance(iterable.func, ast.Attribute)
+                    and iterable.func.attr in _DICT_VIEW_ATTRS
+                    else "an unordered set")
+            self._report("RPR003", iterable,
+                         f"iterating {what} makes decision order "
+                         "hash/insertion dependent")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        for gen in getattr(node, "generators", []):
+            self._check_iterable(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = self._is_unordered(node.value) or (
+            isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id in ("set", "frozenset"))
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                scope = self._scopes[-1]
+                if is_set:
+                    scope.set_vars.add(target.id)
+                else:
+                    scope.set_vars.discard(target.id)
+        self.generic_visit(node)
+
+    # -- RPR004: float equality on simulated time ----------------------
+    @staticmethod
+    def _mentions_time(node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in _TIME_NAMES:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr in _TIME_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _is_exempt_operand(node: ast.expr) -> bool:
+        """Comparisons against strings/None are identity-ish, not float."""
+        return isinstance(node, ast.Constant) and (
+            node.value is None or isinstance(node.value, str))
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.in_sim and any(isinstance(op, (ast.Eq, ast.NotEq))
+                               for op in node.ops):
+            operands = [node.left] + list(node.comparators)
+            if (not any(self._is_exempt_operand(o) for o in operands)
+                    and any(self._mentions_time(o) for o in operands)):
+                self._report("RPR004", node,
+                             "exact float comparison on a simulated-time "
+                             "expression")
+        self.generic_visit(node)
+
+    # -- RPR005 / RPR008: function definitions -------------------------
+    def _check_defaults(self, node: ast.arguments) -> None:
+        for default in list(node.defaults) + [d for d in node.kw_defaults
+                                              if d is not None]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.DictComp,
+                                           ast.SetComp))
+            if (isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")):
+                mutable = True
+            if mutable:
+                self._report("RPR005", default,
+                             "mutable default is shared across calls")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Methods are not entry points (their class threads the seed, e.g.
+        # TraceGenerator(spec)); only module-level functions face RPR008.
+        self._class_depth += 1
+        self.generic_visit(node)
+        self._class_depth -= 1
+
+    def _check_entrypoint(self, node: ast.FunctionDef) -> None:
+        if (not self.in_entrypoint or self._func_depth > 0
+                or self._class_depth > 0 or node.name.startswith("_")):
+            return
+        if not node.name.startswith(_ENTRYPOINT_PREFIXES):
+            return
+        args = node.args
+        names = {a.arg for a in (args.posonlyargs + args.args
+                                 + args.kwonlyargs)}
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        ok = any(n in _SEED_PARAMS or n.endswith(("_seed", "_rng", "_spec"))
+                 for n in names)
+        if not ok:
+            self._report("RPR008", node,
+                         f"entry point {node.name}() cannot be seeded by "
+                         "its caller")
+
+    def _visit_function(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args)
+        self._check_entrypoint(node)
+        self._scopes.append(_Scope())
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- RPR007: overbroad except --------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report("RPR007", node, "bare except swallows everything "
+                         "including KeyboardInterrupt")
+        else:
+            name = None
+            if isinstance(node.type, ast.Name):
+                name = node.type.id
+            elif isinstance(node.type, ast.Attribute):
+                name = node.type.attr
+            if name in ("Exception", "BaseException"):
+                reraises = any(isinstance(sub, ast.Raise) and sub.exc is None
+                               for sub in ast.walk(node))
+                if not reraises:
+                    self._report("RPR007", node,
+                                 f"except {name} without re-raise hides "
+                                 "real failures")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# RPR006: EventKind exhaustiveness (cross-file project rule)
+# ----------------------------------------------------------------------
+def _enum_members(events_tree: ast.Module) -> Dict[str, Tuple[str, int]]:
+    """``member name -> (string value, line)`` of the EventKind enum."""
+    members: Dict[str, Tuple[str, int]] = {}
+    for node in events_tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name == "EventKind"):
+            continue
+        for stmt in node.body:
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)):
+                target = stmt.targets[0]
+                members[target.id] = (stmt.value.value, stmt.lineno)
+    return members
+
+
+def _referenced_members(path: str) -> Set[str]:
+    """EventKind members referenced (``EventKind.X``) in a dispatch file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        return set()
+    refs: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "EventKind"):
+            refs.add(node.attr)
+    return refs
+
+
+def _timeline_track_keys(path: str) -> Optional[Set[str]]:
+    """Keys of the ``EVENT_KIND_TRACKS`` literal, or None when absent."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target: ast.expr = node.targets[0]
+            value: Optional[ast.expr] = node.value
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            value = node.value
+        else:
+            continue
+        if (isinstance(target, ast.Name)
+                and target.id == "EVENT_KIND_TRACKS"
+                and isinstance(value, ast.Dict)):
+            keys: Set[str] = set()
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value,
+                                                                str):
+                    keys.add(key.value)
+            return keys
+    return None
+
+
+def _check_eventkind(path: str, tree: ast.Module) -> List[Finding]:
+    """RPR006 for an ``events.py`` defining ``EventKind``.
+
+    Dispatch coverage is looked for in the sibling ``engine.py`` and in
+    ``../faults/runtime.py``; track mapping in ``../obs/timeline.py``.
+    """
+    members = _enum_members(tree)
+    if not members:
+        return []
+    directory = os.path.dirname(os.path.abspath(path))
+    parent = os.path.dirname(directory)
+    dispatched: Set[str] = set()
+    for candidate in (os.path.join(directory, "engine.py"),
+                      os.path.join(parent, "faults", "runtime.py")):
+        dispatched |= _referenced_members(candidate)
+    tracks = _timeline_track_keys(os.path.join(parent, "obs", "timeline.py"))
+    findings: List[Finding] = []
+    for name, (value, line) in sorted(members.items()):
+        if name not in dispatched:
+            findings.append(Finding(
+                code="RPR006", path=path, line=line, col=4,
+                message=f"EventKind.{name} is never dispatched in "
+                        "sim/engine.py or faults/runtime.py",
+                hint=RULES["RPR006"][1]))
+        if tracks is None or value not in tracks:
+            findings.append(Finding(
+                code="RPR006", path=path, line=line, col=4,
+                message=f"EventKind.{name} ({value!r}) has no track in "
+                        "obs/timeline.py EVENT_KIND_TRACKS",
+                hint=RULES["RPR006"][1]))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one module's source; returns noqa-filtered findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(code="RPR000", path=path, line=exc.lineno or 1,
+                        col=exc.offset or 0, message=str(exc.msg),
+                        hint=RULES["RPR000"][1])]
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(tree)
+    findings = visitor.findings
+    if os.path.basename(path) == "events.py":
+        findings = findings + _check_eventkind(path, tree)
+    suppressed = _noqa_map(source)
+    kept: List[Finding] = []
+    for finding in findings:
+        codes = suppressed.get(finding.line, frozenset())
+        if codes is None or (codes and finding.code in codes):
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def lint_file(path: str) -> List[Finding]:
+    """Lint one ``.py`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint files and/or directory trees (``__pycache__`` skipped).
+
+    Raises ``FileNotFoundError`` for a path that does not exist, so CLI
+    typos fail loudly instead of reporting a clean empty run.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d != "__pycache__"
+                                 and not d.startswith("."))
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".py"))
+        else:
+            raise FileNotFoundError(path)
+    findings: List[Finding] = []
+    for name in files:
+        findings.extend(lint_file(name))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def format_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    if not findings:
+        return "determinism lint: clean"
+    lines = [f.format() for f in findings]
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    summary = ", ".join(f"{code} x{count}"
+                        for code, count in sorted(by_code.items()))
+    lines.append(f"determinism lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order)."""
+    return json.dumps({
+        "findings": [asdict(f) for f in findings],
+        "count": len(findings),
+    }, indent=2, sort_keys=True)

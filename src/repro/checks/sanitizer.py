@@ -1,0 +1,235 @@
+"""Runtime simulation-state sanitizer.
+
+:class:`SimSanitizer` is the dynamic half of :mod:`repro.checks`: where
+the linter vets the *source*, the sanitizer vets the *running state*.
+Enabled via ``Simulator(sanitize=True)`` (CLI ``--sanitize``), it is
+invoked by the engine after every event dispatch and after every
+scheduling pass, and asserts the invariants every reported number relies
+on:
+
+* **Allocation conservation** — every GPU hosts at most
+  :data:`~repro.cluster.gpu.MAX_RESIDENTS` jobs within its memory
+  capacity; a running job's GPU set has no double-bound device and every
+  device actually hosts it; every resident on the main cluster has
+  engine-side run state.
+* **Monotone clock** — the engine's event clock never rewinds.
+* **Legal lifecycle transitions** — job status changes follow the
+  :data:`ALLOWED_TRANSITIONS` state machine (including the faults
+  package's CRASHED/FAILED states), and RUNNING/PROFILING statuses agree
+  with the engine's run-state table.
+* **Queue consistency** — no duplicates in the scheduler queue, no
+  finished/failed/running entries.
+* **Fault-flag coherence** — an unhealthy GPU hosts nothing, node and
+  GPU health flags agree, straggler factors stay in ``(0, 1]``.
+
+The sanitizer is strictly read-only: a sanitized run is bit-identical to
+an unsanitized one on the same seed (guarded by tests).  Violations raise
+:class:`SanitizerError` with a message precise enough to debug from.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet
+
+from repro.cluster.gpu import MAX_RESIDENTS
+from repro.workloads.job import JobStatus
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports the sanitizer lazily
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+
+__all__ = ["ALLOWED_TRANSITIONS", "SanitizerError", "SimSanitizer"]
+
+#: Tolerance for floating-point accounting (memory sums, clock compares).
+_EPS = 1e-6
+
+#: Legal observable status transitions between two sanitizer checks.
+#: Checks run after every event dispatch and after every scheduling pass,
+#: so a delta spans at most one pass; compound moves inside one pass
+#: (e.g. Tiresias' stop+restart) collapse to a self-transition, which is
+#: always legal.  PROFILING->RUNNING covers Lucid promoting a job whose
+#: profiling run was stopped and restarted on the main cluster within a
+#: single pass.
+ALLOWED_TRANSITIONS: Dict[JobStatus, FrozenSet[JobStatus]] = {
+    JobStatus.SUBMITTED: frozenset({JobStatus.PENDING}),
+    JobStatus.PENDING: frozenset({JobStatus.RUNNING, JobStatus.PROFILING}),
+    JobStatus.RUNNING: frozenset({
+        JobStatus.PENDING, JobStatus.PREEMPTED, JobStatus.FINISHED,
+        JobStatus.CRASHED, JobStatus.FAILED}),
+    JobStatus.PROFILING: frozenset({
+        JobStatus.PENDING, JobStatus.PREEMPTED, JobStatus.RUNNING,
+        JobStatus.FINISHED, JobStatus.CRASHED, JobStatus.FAILED}),
+    JobStatus.PREEMPTED: frozenset({JobStatus.RUNNING,
+                                    JobStatus.PROFILING}),
+    JobStatus.CRASHED: frozenset({JobStatus.PENDING}),
+    JobStatus.FINISHED: frozenset(),
+    JobStatus.FAILED: frozenset(),
+}
+
+#: Statuses a job may hold while present in the scheduler's pending queue.
+_QUEUEABLE = frozenset({JobStatus.SUBMITTED, JobStatus.PENDING,
+                        JobStatus.PREEMPTED, JobStatus.CRASHED})
+
+
+class SanitizerError(AssertionError):
+    """A simulation-state invariant was violated."""
+
+
+class SimSanitizer:
+    """State-invariant checker bound to one :class:`Simulator`.
+
+    Attributes
+    ----------
+    checks_run:
+        Number of full invariant sweeps performed (for tests and the CLI
+        summary line).
+    """
+
+    def __init__(self, engine: "Simulator") -> None:
+        self._engine = engine
+        self._last_now = engine.now
+        self._last_status: Dict[int, JobStatus] = {
+            job_id: job.status for job_id, job in engine.jobs.items()}
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def after_dispatch(self, event: "Event") -> None:
+        """Sweep all invariants after one event was applied."""
+        self._sweep(context=f"after {event.kind.value} event "
+                            f"(job {event.job_id})")
+
+    def after_schedule(self) -> None:
+        """Sweep all invariants after one scheduling pass."""
+        self._sweep(context="after scheduling pass")
+
+    # ------------------------------------------------------------------
+    # Invariant sweeps
+    # ------------------------------------------------------------------
+    def _sweep(self, context: str) -> None:
+        self.checks_run += 1
+        now = self._engine.now
+        self._check_clock(now, context)
+        self._check_allocation(context)
+        self._check_lifecycle(context)
+        self._check_queue(context)
+        self._check_fault_flags(context)
+
+    def _fail(self, context: str, message: str) -> None:
+        raise SanitizerError(
+            f"state invariant violated at t={self._engine.now:.3f}s "
+            f"{context}: {message}")
+
+    def _check_clock(self, now: float, context: str) -> None:
+        if now < self._last_now - _EPS:
+            self._fail(context,
+                       f"event clock rewound from {self._last_now:.6f}s "
+                       f"to {now:.6f}s")
+        self._last_now = max(self._last_now, now)
+
+    def _check_allocation(self, context: str) -> None:
+        engine = self._engine
+        # Per-device invariants on the main cluster.
+        for gpu in engine.cluster.gpus:
+            if gpu.n_residents > MAX_RESIDENTS:
+                self._fail(context,
+                           f"GPU {gpu.gpu_id} hosts {gpu.n_residents} jobs "
+                           f"(max {MAX_RESIDENTS}): {sorted(gpu.residents)}")
+            if gpu.memory_used_mb > gpu.memory_mb + _EPS:
+                self._fail(context,
+                           f"GPU {gpu.gpu_id} memory oversubscribed: "
+                           f"{gpu.memory_used_mb:.0f} MB reserved > "
+                           f"{gpu.memory_mb:.0f} MB capacity")
+            for job_id in gpu.residents:
+                if job_id not in engine.run_states:
+                    self._fail(context,
+                               f"GPU {gpu.gpu_id} hosts job {job_id} which "
+                               "has no run state (leaked allocation)")
+        # Per-run-state invariants (covers profiler-cluster GPUs too).
+        for job_id, state in engine.run_states.items():
+            seen_devices = set()
+            for gpu in state.gpus:
+                if gpu.gpu_id in seen_devices:
+                    self._fail(context,
+                               f"job {job_id} double-binds GPU "
+                               f"{gpu.gpu_id}")
+                seen_devices.add(gpu.gpu_id)
+                if not gpu.hosts(job_id):
+                    self._fail(context,
+                               f"job {job_id} claims GPU {gpu.gpu_id} but "
+                               "is not attached to it")
+            job = engine.jobs[job_id]
+            if len(state.gpus) != job.gpu_num:
+                self._fail(context,
+                           f"job {job_id} holds {len(state.gpus)} GPUs but "
+                           f"requested {job.gpu_num}")
+
+    def _check_lifecycle(self, context: str) -> None:
+        engine = self._engine
+        for job_id, job in engine.jobs.items():
+            previous = self._last_status[job_id]
+            current = job.status
+            if current is not previous:
+                if current not in ALLOWED_TRANSITIONS[previous]:
+                    self._fail(context,
+                               f"job {job_id} made an illegal "
+                               f"{previous.value.upper()} -> "
+                               f"{current.value.upper()} transition")
+                self._last_status[job_id] = current
+            executing = job_id in engine.run_states
+            if executing and current not in (JobStatus.RUNNING,
+                                             JobStatus.PROFILING):
+                self._fail(context,
+                           f"job {job_id} is {current.value} but still "
+                           "holds GPUs (run state present)")
+            if not executing and current in (JobStatus.RUNNING,
+                                             JobStatus.PROFILING):
+                self._fail(context,
+                           f"job {job_id} is {current.value} but has no "
+                           "run state (lost allocation)")
+
+    def _check_queue(self, context: str) -> None:
+        queue = getattr(self._engine.scheduler, "queue", None)
+        if queue is None:
+            return
+        seen = set()
+        for job in queue:
+            if job.job_id in seen:
+                self._fail(context,
+                           f"job {job.job_id} queued twice (would be "
+                           "scheduled twice)")
+            seen.add(job.job_id)
+            if job.status not in _QUEUEABLE:
+                self._fail(context,
+                           f"job {job.job_id} is {job.status.value} but "
+                           "still sits in the pending queue")
+            if job.job_id in self._engine.run_states:
+                self._fail(context,
+                           f"job {job.job_id} is both queued and executing")
+
+    def _check_fault_flags(self, context: str) -> None:
+        for node in self._engine.cluster.nodes:
+            gpu_health = [gpu.healthy for gpu in node.gpus]
+            if node.healthy and not all(gpu_health):
+                self._fail(context,
+                           f"node {node.node_id} is healthy but has "
+                           "unhealthy GPUs")
+            if not node.healthy and any(gpu_health):
+                self._fail(context,
+                           f"node {node.node_id} is down but has healthy "
+                           "GPUs")
+            for gpu in node.gpus:
+                if not gpu.healthy and gpu.residents:
+                    self._fail(context,
+                               f"failed GPU {gpu.gpu_id} still hosts jobs "
+                               f"{sorted(gpu.residents)}")
+                if not 0.0 < gpu.fault_slow <= 1.0:
+                    self._fail(context,
+                               f"GPU {gpu.gpu_id} has out-of-range "
+                               f"straggler factor {gpu.fault_slow!r}")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line report for the CLI."""
+        return f"sanitizer: {self.checks_run} invariant sweeps, all clean"

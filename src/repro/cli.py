@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
     packing = sub.add_parser("packing", help="colocation characterization")
     packing.add_argument("--threshold", type=float, default=0.85,
                          help="interference-free speed threshold")
+
+    lint = sub.add_parser(
+        "lint", help="determinism linter (RPR rules; exit 1 on findings)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format")
     return parser
 
 
@@ -103,6 +110,9 @@ def _trace_args(parser: argparse.ArgumentParser) -> None:
                         help="fault-injection spec: a JSON file, inline "
                              "JSON, or key=value pairs (e.g. "
                              "'node_mtbf=43200,crash_rate=0.2,seed=7')")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="assert simulation-state invariants at every "
+                             "event dispatch (repro.checks sanitizer)")
 
 
 def _fault_spec(args):
@@ -196,9 +206,12 @@ def _run_traced(args, out_dir: str):
     events_path = os.path.join(out_dir, "events.jsonl")
     tracer = RingBufferTracer(sink=events_path)
     try:
-        result = Simulator(cluster, jobs,
-                           make_scheduler(args.scheduler, history),
-                           tracer=tracer, faults=_fault_spec(args)).run()
+        simulator = Simulator(cluster, jobs,
+                              make_scheduler(args.scheduler, history),
+                              tracer=tracer, faults=_fault_spec(args),
+                              sanitize=args.sanitize)
+        result = simulator.run()
+        _print_sanitizer_summary(simulator)
     except BaseException:
         print(f"simulation aborted; partial event log kept at {events_path}",
               file=sys.stderr)
@@ -210,6 +223,11 @@ def _run_traced(args, out_dir: str):
     for path in written:
         print(f"wrote {path}")
     return result, elapsed
+
+
+def _print_sanitizer_summary(simulator: Simulator) -> None:
+    if simulator.sanitizer is not None:
+        print(simulator.sanitizer.summary())
 
 
 def _print_fault_summary(result: SimulationResult) -> None:
@@ -232,10 +250,13 @@ def cmd_simulate(args) -> int:
         print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
               f"({len(cluster.vcs)} VCs) under {args.scheduler}")
         started = time.perf_counter()
-        result = Simulator(cluster, jobs,
-                           make_scheduler(args.scheduler, history),
-                           faults=_fault_spec(args)).run()
+        simulator = Simulator(cluster, jobs,
+                              make_scheduler(args.scheduler, history),
+                              faults=_fault_spec(args),
+                              sanitize=args.sanitize)
+        result = simulator.run()
         elapsed = time.perf_counter() - started
+        _print_sanitizer_summary(simulator)
     print(ascii_table(_HEADERS, [_summary_row(args.scheduler, result,
                                               elapsed)]))
     _print_fault_summary(result)
@@ -299,7 +320,8 @@ def cmd_compare(args) -> int:
         # seeded fault timeline, keeping the comparison apples-to-apples.
         result = Simulator(cluster, jobs,
                            make_scheduler(name, history),
-                           faults=_fault_spec(args)).run()
+                           faults=_fault_spec(args),
+                           sanitize=args.sanitize).run()
         rows.append(_summary_row(name, result,
                                  time.perf_counter() - started))
         logger.info("%s: done in %.1fs", name,
@@ -367,6 +389,17 @@ def cmd_packing(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.checks import format_json, format_text, lint_paths
+
+    findings = lint_paths(args.paths)
+    if args.format == "json":
+        print(format_json(findings))
+    else:
+        print(format_text(findings))
+    return 1 if findings else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.log_level)
@@ -376,6 +409,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": cmd_compare,
         "models": cmd_models,
         "packing": cmd_packing,
+        "lint": cmd_lint,
     }
     # User-input errors exit with code 2 and a one-line message instead of
     # a traceback: missing files, unparsable traces, bad --faults specs.

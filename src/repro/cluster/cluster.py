@@ -73,7 +73,10 @@ class Cluster:
         self._node_index: Dict[int, Node] = {}
         node_id = 0
         gpu_id = 0
-        for vc_name, count in vc_nodes.items():
+        # Caller-ordered mapping: VC -> node-id assignment deliberately
+        # follows the insertion order the caller chose (dicts preserve it
+        # deterministically); sorting here would silently relabel nodes.
+        for vc_name, count in vc_nodes.items():  # repro: noqa RPR003
             if count <= 0:
                 raise ValueError(f"VC {vc_name!r} must have >= 1 node")
             members: List[Node] = []
@@ -137,20 +140,24 @@ class Cluster:
         """Fraction of GPUs with at least one resident job."""
         if not self._gpu_index:
             return 0.0
-        busy = sum(1 for g in self._gpu_index.values() if not g.is_free)
+        busy = sum(1 for node in self.nodes for g in node.gpus
+                   if not g.is_free)
         return busy / len(self._gpu_index)
 
     def shared_gpu_fraction(self) -> float:
         """Fraction of GPUs hosting two packed jobs."""
         if not self._gpu_index:
             return 0.0
-        shared = sum(1 for g in self._gpu_index.values() if g.is_shared)
+        shared = sum(1 for node in self.nodes for g in node.gpus
+                     if g.is_shared)
         return shared / len(self._gpu_index)
 
     def memory_used_fraction(self) -> float:
-        """Cluster-wide GPU memory occupancy."""
-        total = sum(g.memory_mb for g in self._gpu_index.values())
-        used = sum(g.memory_used_mb for g in self._gpu_index.values())
+        """Cluster-wide GPU memory occupancy (node order fixes the float
+        accumulation order)."""
+        total = sum(g.memory_mb for node in self.nodes for g in node.gpus)
+        used = sum(g.memory_used_mb for node in self.nodes
+                   for g in node.gpus)
         return used / total if total else 0.0
 
     def __repr__(self) -> str:

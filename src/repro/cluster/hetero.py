@@ -74,9 +74,12 @@ def build_heterogeneous_cluster(
     are stamped onto its GPU objects (``gpu.speed_factor``), which the
     simulation engine reads when computing job speeds.
     """
-    counts = {vc: sum(n for _, n in racks) for vc, racks in vc_layout.items()}
+    # Caller-ordered mapping (see Cluster.__init__): the layout's insertion
+    # order defines node ids, so both walks must preserve it, not sort it.
+    counts = {vc: sum(n for _, n in racks)
+              for vc, racks in vc_layout.items()}  # repro: noqa RPR003
     cluster = Cluster(counts, gpus_per_node=gpus_per_node)
-    for vc, racks in vc_layout.items():
+    for vc, racks in vc_layout.items():  # repro: noqa RPR003
         nodes = iter(cluster.vc(vc).nodes)
         for gpu_type, node_count in racks:
             for _ in range(node_count):

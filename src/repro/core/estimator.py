@@ -247,7 +247,9 @@ class WorkloadEstimateModel:
         """
         try:
             value = self.predict(job)
-        except Exception:
+        except Exception:  # repro: noqa RPR007 — deliberate catch-all:
+            # any model failure must degrade to the default estimate, not
+            # crash the scheduling loop mid-simulation.
             return default
         if not np.isfinite(value) or value <= 0:
             return default

@@ -21,7 +21,26 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.tracer import TraceEvent
 
-__all__ = ["build_chrome_trace", "write_chrome_trace"]
+__all__ = ["EVENT_KIND_TRACKS", "build_chrome_trace", "write_chrome_trace"]
+
+#: Timeline track for every simulator :class:`~repro.sim.events.EventKind`
+#: value.  This mapping is the RPR006 exhaustiveness anchor (see
+#: :mod:`repro.checks.lint`): adding an event kind without declaring its
+#: track here is a lint error, so no kind can silently vanish from the
+#: rendered timeline.  Values name the process row the kind appears on;
+#: kinds whose tracer emission uses an aliased kind string are noted.
+EVENT_KIND_TRACKS: Dict[str, str] = {
+    "submit": "scheduler",      # instant on the scheduler row
+    "finish": "gpu",            # closes the job's GPU lane interval
+    "time_limit": "gpu",        # lane annotation; scheduler decides the stop
+    "tick": "scheduler",        # periodic wake-up; not rendered (no payload)
+    "node_fail": "fault",
+    "node_recover": "fault",
+    "job_crash": "fault",       # traced as "crash"; also closes the lane
+    "slowdown": "fault",
+    "slowdown_end": "fault",
+    "retry": "fault",
+}
 
 #: Simulated seconds -> Chrome trace microseconds.
 _US = 1e6

@@ -23,6 +23,8 @@ class FIFOScheduler(Scheduler):
         by_vc: Dict[str, List[Job]] = {}
         for job in self.queue:
             by_vc.setdefault(job.vc, []).append(job)
-        for vc_jobs in by_vc.values():
+        # VCs are independent partitions, but a sorted walk keeps the
+        # placement order (and any shared tie-breaking) deterministic.
+        for _, vc_jobs in sorted(by_vc.items()):
             vc_jobs.sort(key=lambda j: (j.submit_time, j.job_id))
             self.place_in_order(vc_jobs, strict=True)

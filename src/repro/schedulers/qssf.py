@@ -66,7 +66,7 @@ class HistoryDurationModel:
         for job in history:
             groups.setdefault((job.user, job.name), []).append(job.duration)
         self._template_means = {k: float(np.mean(v[-8:]))
-                                for k, v in groups.items()}
+                                for k, v in sorted(groups.items())}
         return self
 
     def predict(self, job: Job) -> float:

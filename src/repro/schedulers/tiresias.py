@@ -86,7 +86,8 @@ class TiresiasScheduler(Scheduler):
 
         # Greedily pick the target running set within each VC's capacity.
         capacity: Dict[str, int] = {
-            name: vc.n_gpus for name, vc in self.engine.cluster.vcs.items()}
+            name: vc.n_gpus
+            for name, vc in sorted(self.engine.cluster.vcs.items())}
         target: Set[int] = set()
         for job in candidates:
             if capacity.get(job.vc, 0) >= job.gpu_num:

@@ -92,6 +92,14 @@ class Simulator:
         to the disabled :data:`~repro.obs.tracer.NULL_TRACER`; every
         emission site is guarded by ``tracer.enabled`` so a run without
         tracing is bit-identical to (and as fast as) an untraced one.
+    sanitize:
+        Enable the :class:`~repro.checks.sanitizer.SimSanitizer`: state
+        invariants (allocation conservation, monotone clock, legal job
+        transitions, queue consistency, fault-flag coherence) are
+        asserted after every event dispatch and scheduling pass.  The
+        sanitizer is read-only — a sanitized run is bit-identical to an
+        unsanitized one — and entirely absent when disabled (zero
+        overhead).
     """
 
     def __init__(self, cluster: Cluster, jobs: Sequence[Job], scheduler,
@@ -99,8 +107,8 @@ class Simulator:
                  max_events: int = 20_000_000,
                  model_cpu: bool = False,
                  tracer: Optional[Tracer] = None,
-                 faults: Optional[Union["FaultSpec", "FaultInjector"]] = None
-                 ) -> None:
+                 faults: Optional[Union["FaultSpec", "FaultInjector"]] = None,
+                 sanitize: bool = False) -> None:
         self.cluster = cluster
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -137,6 +145,13 @@ class Simulator:
         self._unfinished = len(self.jobs)
         self._events_processed = 0
         self._tick_scheduled = False
+
+        #: State sanitizer (:mod:`repro.checks`); ``None`` when disabled
+        #: so the run loop pays a single identity check per hook site.
+        self.sanitizer = None
+        if sanitize:
+            from repro.checks.sanitizer import SimSanitizer
+            self.sanitizer = SimSanitizer(self)
 
     # ------------------------------------------------------------------
     # Public API for schedulers
@@ -250,16 +265,18 @@ class Simulator:
                     getattr(self.scheduler, "name", type(self.scheduler)))
         self.scheduler.attach(self)
         self._arm_faults()
-        for job in self.jobs.values():
+        for job_id in sorted(self.jobs):
+            job = self.jobs[job_id]
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
         self._maybe_schedule_tick()
+        sanitizer = self.sanitizer
 
         while self._unfinished > 0:
             if not self.events:
                 # Give the scheduler one last chance (e.g. sharing decisions).
                 self._invoke_scheduler()
                 if self._unfinished > 0 and not self.events:
-                    stuck = [j.job_id for j in self.jobs.values()
+                    stuck = [job_id for job_id, j in sorted(self.jobs.items())
                              if j.status not in (JobStatus.FINISHED,
                                                  JobStatus.FAILED)]
                     logger.error("deadlock at t=%.0fs: %d unfinished jobs",
@@ -271,10 +288,17 @@ class Simulator:
             event = self.events.pop()
             self.now = max(self.now, event.time)
             self._dispatch(event)
+            if sanitizer is not None:
+                sanitizer.after_dispatch(event)
             # Drain all simultaneous events before invoking the scheduler.
             while self.events and self.events.peek_time() <= self.now + _EPS:
-                self._dispatch(self.events.pop())
+                event = self.events.pop()
+                self._dispatch(event)
+                if sanitizer is not None:
+                    sanitizer.after_dispatch(event)
             self._invoke_scheduler()
+            if sanitizer is not None:
+                sanitizer.after_schedule()
             self._maybe_schedule_tick()
             if self._events_processed > self.max_events:
                 raise RuntimeError("max_events exceeded; likely a livelock")
@@ -318,9 +342,11 @@ class Simulator:
         if not self._tracing:
             self.scheduler.schedule(self.now)
             return
-        started = _time.perf_counter()
+        # Wall-clock telemetry of scheduler latency: never feeds back into
+        # simulated time, so it is exempt from the determinism lint.
+        started = _time.perf_counter()  # repro: noqa RPR002
         self.scheduler.schedule(self.now)
-        elapsed = _time.perf_counter() - started
+        elapsed = _time.perf_counter() - started  # repro: noqa RPR002
         self.metrics.histogram("schedule_seconds").observe(elapsed)
         queue = getattr(self.scheduler, "queue", None)
         if queue is not None:
@@ -471,18 +497,19 @@ class Simulator:
         compute-bound ones barely notice).
         """
         worst = 1.0
-        for node_id in {gpu.node_id for gpu in state.gpus}:
+        for node_id in sorted({gpu.node_id for gpu in state.gpus}):
             node_obj = self._node_index.get(node_id)
             if node_obj is None:
                 continue  # profiler-cluster nodes are not CPU-modelled
             # Demand on this node: every resident job's cpu_per_gpu times
-            # its GPUs here.
+            # its GPUs here.  Sorted iteration keeps the float accumulation
+            # order (and hence the result bits) independent of set hashing.
             demand_here = 0.0
             job_demand = 0.0
             residents = set()
             for gpu in node_obj.gpus:
                 residents.update(gpu.residents)
-            for rid in residents:
+            for rid in sorted(residents):
                 resident = self.jobs[rid]
                 r_state = self.run_states.get(rid)
                 if r_state is None:
@@ -507,7 +534,7 @@ class Simulator:
         """
         affected = set()
         if self.model_cpu:
-            for node_id in {gpu.node_id for gpu in gpus}:
+            for node_id in sorted({gpu.node_id for gpu in gpus}):
                 node = self._node_index.get(node_id)
                 if node is None:
                     continue
@@ -515,7 +542,10 @@ class Simulator:
                     affected.update(node_gpu.residents)
         for gpu in gpus:
             affected.update(gpu.residents)
-        for jid in affected:
+        # Sorted so simultaneous FINISH events are (re)armed in job-id
+        # order — their heap tie-break sequence numbers, and therefore the
+        # dispatch order, must not depend on set iteration order.
+        for jid in sorted(affected):
             state = self.run_states.get(jid)
             if state is None:
                 continue

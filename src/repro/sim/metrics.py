@@ -157,7 +157,7 @@ class SimulationResult:
     def avg_queue_by_vc(self) -> Dict[str, float]:
         """Average queuing delay per virtual cluster (Figure 9)."""
         return {vc: float(np.mean([r.queue_delay for r in rs]))
-                for vc, rs in self.by_vc().items()}
+                for vc, rs in sorted(self.by_vc().items())}
 
     def scale_split(self, boundary: int = LARGE_JOB_GPUS
                     ) -> Dict[str, "ScaleStats"]:

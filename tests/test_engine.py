@@ -244,3 +244,37 @@ class TestEngineGuards:
 
         with pytest.raises(RuntimeError, match="not running"):
             run_sim([make_job(1)], BadScheduler())
+
+
+class TestEventOrdering:
+    """Same-timestamp events must dispatch in creation order (seq ties)."""
+
+    def test_seq_breaks_timestamp_ties(self):
+        from repro.sim.events import EventKind, EventQueue
+
+        queue = EventQueue()
+        kinds = [EventKind.FINISH, EventKind.SUBMIT, EventKind.TICK,
+                 EventKind.NODE_FAIL]
+        for kind in kinds:
+            queue.push(100.0, kind)
+        popped = [queue.pop() for _ in range(len(kinds))]
+        assert [e.kind for e in popped] == kinds
+        assert [e.seq for e in popped] == sorted(e.seq for e in popped)
+
+    def test_seq_monotone_across_timestamps(self):
+        from repro.sim.events import EventKind, EventQueue
+
+        queue = EventQueue()
+        late = queue.push(200.0, EventKind.FINISH)
+        early = queue.push(100.0, EventKind.SUBMIT)
+        assert early.seq > late.seq  # creation order, not pop order
+        assert queue.pop() is early and queue.pop() is late
+
+    def test_comparison_never_touches_payload(self):
+        # kind/job_id/payload are compare=False: heap ordering must not
+        # fall through to unorderable fields on (time, seq) construction.
+        from repro.sim.events import Event, EventKind
+
+        a = Event(time=5.0, seq=1, kind=EventKind.TICK, payload=object())
+        b = Event(time=5.0, seq=2, kind=EventKind.SUBMIT, payload={"x": 1})
+        assert a < b and not b < a
