@@ -83,15 +83,18 @@ def make_scheduler(name, history, **kwargs):
 
 
 def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
-                     seed=None, tracer=None, faults=None,
-                     **scheduler_kwargs):
+                     seed=None, tracer=None, faults=None, profile=None,
+                     series=None, **scheduler_kwargs):
     """Generate a trace, run one scheduler over it, return the results.
 
     Pass a :class:`repro.obs.RingBufferTracer` as ``tracer`` to collect
     structured events, metrics and (for Lucid) a decision audit on the
     returned result's ``telemetry`` field.  Pass a
     :class:`repro.faults.FaultSpec` (or a spec string accepted by
-    ``FaultSpec.parse``) as ``faults`` to inject failures.
+    ``FaultSpec.parse``) as ``faults`` to inject failures.  ``profile``
+    and ``series`` forward to :class:`~repro.sim.engine.Simulator` to
+    attach a :class:`~repro.obs.prof.SimProfiler` /
+    :class:`~repro.obs.series.SeriesCollector`.
     """
     spec = get_spec(trace)
     if n_jobs is not None:
@@ -106,4 +109,4 @@ def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
     jobs = generator.generate()
     sched = make_scheduler(scheduler, history, **scheduler_kwargs)
     return Simulator(cluster, jobs, sched, tracer=tracer,
-                     faults=faults).run()
+                     faults=faults, profile=profile, series=series).run()

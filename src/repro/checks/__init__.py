@@ -17,6 +17,7 @@ two tools:
 """
 
 from repro.checks.lint import (
+    RPR002_ALLOWLIST,
     RULES,
     Finding,
     format_json,
@@ -28,6 +29,7 @@ from repro.checks.lint import (
 from repro.checks.sanitizer import SanitizerError, SimSanitizer
 
 __all__ = [
+    "RPR002_ALLOWLIST",
     "RULES",
     "Finding",
     "format_json",

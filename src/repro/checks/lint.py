@@ -13,6 +13,10 @@ RPR001    No global ``random.*`` / ``np.random.*`` convenience calls in
 RPR002    No wall-clock reads (``time.time``, ``time.monotonic``,
           ``time.perf_counter``, ``datetime.now``, ...) in simulation
           paths; simulated time is ``engine.now``, full stop.
+          Instrumentation that measures the *simulator itself* (and
+          never feeds wall time back into simulated state) is exempted
+          by :data:`RPR002_ALLOWLIST` — a per-module (optionally
+          per-function) allowlist — instead of per-line noqa comments.
 RPR003    No iteration over a raw ``set`` / ``frozenset`` / dict view in
           scheduling or placement decision code without ``sorted(...)``
           — unordered iteration makes tie-breaking depend on hash seeds
@@ -42,9 +46,10 @@ import json
 import os
 import re
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
+    "RPR002_ALLOWLIST",
     "RULES",
     "Finding",
     "format_json",
@@ -126,6 +131,20 @@ _ENTRYPOINT_PREFIXES = (
 #: Parameter names that satisfy RPR008 (a *Spec carries its own seed).
 _SEED_PARAMS = frozenset({"seed", "rng", "random_state", "generator", "spec"})
 
+#: RPR002 instrumentation allowlist: wall-clock reads that measure the
+#: simulator itself (profiling, latency telemetry) rather than simulated
+#: time.  Keys are path suffixes (``/``-separated); a value of ``None``
+#: exempts the whole module, a frozenset of function names exempts only
+#: reads whose innermost enclosing function matches.  Prefer this list
+#: over ``# repro: noqa RPR002`` comments: the exemption is reviewed in
+#: one place and survives line moves.
+RPR002_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {
+    # The self-profiler is wall-clock measurement by definition.
+    "obs/prof.py": None,
+    # Scheduler-pass latency telemetry (tracer metrics + SimProfiler).
+    "sim/engine.py": frozenset({"_invoke_scheduler"}),
+}
+
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
 )
@@ -197,6 +216,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._scopes: List[_Scope] = [_Scope()]
         self._func_depth = 0
         self._class_depth = 0
+        self._func_names: List[str] = []
 
     # -- helpers -------------------------------------------------------
     def _report(self, code: str, node: ast.AST, message: str) -> None:
@@ -208,6 +228,17 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def _is_set_var(self, name: str) -> bool:
         return any(name in scope.set_vars for scope in reversed(self._scopes))
+
+    def _rpr002_exempt(self) -> bool:
+        """Is the current location on the instrumentation allowlist?"""
+        path = os.path.normpath(self.path).replace(os.sep, "/")
+        for suffix, functions in RPR002_ALLOWLIST.items():
+            if path == suffix or path.endswith("/" + suffix):
+                if functions is None:
+                    return True
+                return bool(self._func_names) and \
+                    self._func_names[-1] in functions
+        return False
 
     # -- imports -------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -283,6 +314,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
                          "entropy-seeded (nondeterministic)")
 
     def _check_clock_call(self, node: ast.Call) -> None:
+        if self._rpr002_exempt():
+            return
         func = node.func
         if isinstance(func, ast.Name):
             if func.id in self.time_funcs and func.id in _TIME_BANNED:
@@ -448,7 +481,9 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._check_entrypoint(node)
         self._scopes.append(_Scope())
         self._func_depth += 1
+        self._func_names.append(node.name)
         self.generic_visit(node)
+        self._func_names.pop()
         self._func_depth -= 1
         self._scopes.pop()
 

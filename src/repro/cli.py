@@ -19,6 +19,11 @@ models
 packing
     Print the colocation characterization and Indolent Packing decisions
     (Figures 2/5).
+bench
+    Run the seeded benchmark scenario matrix with the simulator
+    profiler attached and write a ``BENCH_<timestamp>.json`` perf
+    record; ``--against FILE`` diffs against a previous bench file and
+    exits non-zero when events/sec regressed beyond ``--threshold``.
 
 The global ``--log-level`` flag (before the command) controls the
 ``repro.*`` logger tree, e.g. ``repro --log-level info simulate``.
@@ -77,6 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="output directory (default: trace-out)")
     trace_cmd.add_argument("--explain", type=int, default=5, metavar="N",
                            help="print the first N placement explanations")
+    trace_cmd.add_argument("--tail", type=int, default=None, metavar="N",
+                           help="print the last N retained trace events")
 
     cmp_cmd = sub.add_parser("compare", help="compare schedulers")
     _trace_args(cmp_cmd)
@@ -96,6 +103,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories to lint (default: src)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="report format")
+
+    bench = sub.add_parser(
+        "bench", help="run the perf scenario matrix; exit 1 on regression")
+    bench.add_argument("--quick", action="store_true",
+                       help="run the small per-PR matrix instead of the "
+                            "full scheduler sweep")
+    bench.add_argument("--out", metavar="FILE", default=None,
+                       help="output path (default: BENCH_<timestamp>.json)")
+    bench.add_argument("--against", metavar="FILE", default=None,
+                       help="baseline bench file to diff the run against")
+    bench.add_argument("--candidate", metavar="FILE", default=None,
+                       help="diff this existing bench file against "
+                            "--against instead of running the matrix")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="events/sec regression fraction that fails "
+                            "the diff (default: 0.25)")
+    bench.add_argument("--schedulers", default=None,
+                       help="comma-separated scheduler subset override")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="override the job count of every scenario")
     return parser
 
 
@@ -286,6 +313,17 @@ def cmd_trace(args) -> int:
     print(ascii_table(["event kind", "count"],
                       [[kind, counts[kind]] for kind in sorted(counts)],
                       title="Trace events"))
+    if telemetry.dropped_events:
+        print(f"warning: ring buffer overflowed; {telemetry.dropped_events} "
+              "oldest events dropped (retained events are a suffix of the "
+              "run; the JSONL sink, if set, has the full log)",
+              file=sys.stderr)
+    if args.tail is not None and args.tail > 0:
+        tail = telemetry.events[-args.tail:]
+        print(f"Last {len(tail)} of {len(telemetry.events)} retained "
+              "events:")
+        for event in tail:
+            print(f"  {event.to_json()}")
     metric_rows = []
     for name, value in telemetry.metrics.items():
         if isinstance(value, dict):  # histogram summary
@@ -389,6 +427,68 @@ def cmd_packing(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.obs.bench import (
+        FULL_MATRIX,
+        QUICK_MATRIX,
+        BenchScenario,
+        bench_filename,
+        diff_bench,
+        format_diff,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.candidate is not None:
+        # Diff-only mode: compare two existing bench files, run nothing.
+        if args.against is None:
+            print("error: --candidate requires --against", file=sys.stderr)
+            return 2
+        try:
+            document = load_bench(args.candidate)
+        except ValueError as exc:
+            print(f"error: invalid bench file {args.candidate}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        scenarios = list(QUICK_MATRIX if args.quick else FULL_MATRIX)
+        if args.schedulers is not None:
+            wanted = [n.strip() for n in args.schedulers.split(",")
+                      if n.strip()]
+            for name in wanted:
+                if name not in SCHEDULER_CHOICES:
+                    print(f"error: unknown scheduler {name!r}",
+                          file=sys.stderr)
+                    return 2
+            base = {(s.trace, s.jobs, s.seed) for s in scenarios}
+            scenarios = [BenchScenario(name, trace, jobs, seed)
+                         for trace, jobs, seed in sorted(base)
+                         for name in wanted]
+        if args.jobs is not None:
+            scenarios = [BenchScenario(s.scheduler, s.trace, args.jobs,
+                                       s.seed) for s in scenarios]
+        document = run_bench(scenarios, quick=args.quick, progress=print)
+        out = args.out or bench_filename()
+        write_bench(document, out)
+        totals = document["totals"]
+        print(f"wrote {out}: {len(document['scenarios'])} scenarios, "
+              f"{totals['events']} events in {totals['wall_seconds']:.2f}s "
+              f"({totals['events_per_sec']:,.0f} ev/s)")
+    if args.against is None:
+        return 0
+    try:
+        baseline = load_bench(args.against)
+    except ValueError as exc:
+        print(f"error: invalid bench file {args.against}: {exc}",
+              file=sys.stderr)
+        return 2
+    rows, regressions = diff_bench(baseline, document,
+                                   threshold=args.threshold)
+    print(format_diff(rows, regressions, args.threshold))
+    return 1 if regressions else 0
+
+
 def cmd_lint(args) -> int:
     from repro.checks import format_json, format_text, lint_paths
 
@@ -410,6 +510,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "models": cmd_models,
         "packing": cmd_packing,
         "lint": cmd_lint,
+        "bench": cmd_bench,
     }
     # User-input errors exit with code 2 and a one-line message instead of
     # a traceback: missing files, unparsable traces, bad --faults specs.

@@ -215,6 +215,7 @@ class LucidScheduler(Scheduler):
         if self.estimator is not None:
             # safe_predict: a missing profile or degraded model yields the
             # conservative constant instead of crashing the schedule loop.
+            self.profile_count("estimator_predictions")
             job.estimated_duration = self.estimator.safe_predict(
                 job, default=RUNTIME_AGNOSTIC_ESTIMATE)
         self.queue.append(job)
@@ -277,6 +278,7 @@ class LucidScheduler(Scheduler):
         policy = self.config.packing_policy
         if policy == "off":
             return None
+        self.profile_count("binder_attempts")
         if policy == "indolent":
             return self.binder.find_mate(self.engine, job,
                                          self._remaining_estimate)
@@ -332,7 +334,8 @@ class LucidScheduler(Scheduler):
     def schedule(self, now: float) -> None:
         self._queue_peak = max(self._queue_peak, len(self.queue))
         if now >= self._next_control:
-            self._control(now)
+            with self.profile_span("lucid.control"):
+                self._control(now)
             self._next_control = now + self.config.control_interval
         if self.profiler is not None and self.profiler.is_down:
             # Degradation: move waiting candidates to the main queue so
@@ -340,7 +343,8 @@ class LucidScheduler(Scheduler):
             for waiting in self.profiler.drain():
                 self._admit_to_main(waiting)
         if self.profiler is not None:
-            started = self.profiler.allocate(self.engine)
+            with self.profile_span("lucid.profiler"):
+                started = self.profiler.allocate(self.engine)
             if self.audit is not None:
                 for job in started:
                     gpus = self.engine.gpus_of(job)
@@ -352,10 +356,11 @@ class LucidScheduler(Scheduler):
                              f"N_prof={self.profiler.n_prof}"))
         if self.config.packing_policy == "indolent":
             self.binder.begin_pass(self.engine)
-        placed = self.orchestrator.schedule(
-            self.engine, self.queue, priority_fn=self._priority,
-            find_mate=self._find_mate, sharing_mode=self._sharing_mode,
-            now=now, audit=self.audit)
+        with self.profile_span("lucid.orchestrate"):
+            placed = self.orchestrator.schedule(
+                self.engine, self.queue, priority_fn=self._priority,
+                find_mate=self._find_mate, sharing_mode=self._sharing_mode,
+                now=now, audit=self.audit)
         self.binder.end_pass()
         for job in placed:
             self.queue.remove(job)

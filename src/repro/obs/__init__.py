@@ -11,6 +11,13 @@ that makes the reproduction observable end to end:
   :class:`~repro.sim.metrics.SimulationResult` as ``result.telemetry``.
 * :mod:`repro.obs.timeline` — Chrome trace-event export (per-GPU lanes
   for ``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.prof` — simulator self-profiling
+  (``Simulator(profile=...)``): wall time per event kind and scheduler
+  pass, hot-path counters, events/sec, peak RSS.
+* :mod:`repro.obs.series` — fixed-interval cluster time series
+  (``Simulator(series=...)``) with CSV/JSON export.
+* :mod:`repro.obs.bench` — the ``repro bench`` perf harness: seeded
+  scenario matrix, ``BENCH_*.json`` files, regression diffing.
 * :mod:`repro.obs.logutil` — ``repro.*`` logger configuration.
 
 Quickstart::
@@ -31,6 +38,15 @@ from repro.obs.audit import (
     PlacementDecision,
     RefitRecord,
 )
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchScenario,
+    diff_bench,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
 from repro.obs.logutil import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -38,6 +54,12 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     Telemetry,
+)
+from repro.obs.prof import NULL_SPAN, SimProfiler, peak_rss_mb
+from repro.obs.series import (
+    SERIES_SCHEMA,
+    SeriesCollector,
+    SeriesSample,
 )
 from repro.obs.timeline import build_chrome_trace, write_chrome_trace
 from repro.obs.tracer import (
@@ -55,6 +77,19 @@ __all__ = [
     "DecisionAudit",
     "PlacementDecision",
     "RefitRecord",
+    "BENCH_SCHEMA",
+    "BenchScenario",
+    "diff_bench",
+    "load_bench",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+    "NULL_SPAN",
+    "SimProfiler",
+    "peak_rss_mb",
+    "SERIES_SCHEMA",
+    "SeriesCollector",
+    "SeriesSample",
     "LOG_LEVELS",
     "configure_logging",
     "get_logger",

@@ -1,0 +1,285 @@
+"""``repro bench``: the repo's performance-trajectory harness.
+
+Runs a standard scenario matrix (schedulers x trace scales, fully
+seeded) with the :class:`~repro.obs.prof.SimProfiler` attached and
+writes a ``BENCH_<timestamp>.json`` file recording wall time, simulator
+throughput (events/sec), peak RSS and the per-phase breakdown of every
+scenario.  Each future PR extends the trajectory: CI runs the quick
+matrix on every change and fails when events/sec regresses beyond a
+threshold against the committed baseline
+(``benchmarks/results/bench_baseline.json``).
+
+Two bench files are comparable when their scenarios share the same
+``(scheduler, trace, jobs, seed)`` key; :func:`diff_bench` matches on
+that key, so adding scenarios to the matrix never breaks old baselines.
+
+This module is deliberately free of simulation logic — it only drives
+``Simulator`` runs — and lives outside the simulation packages, so its
+wall-clock and timestamp reads are outside RPR002's scope.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.prof import SimProfiler
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchScenario",
+    "FULL_MATRIX",
+    "QUICK_MATRIX",
+    "bench_filename",
+    "diff_bench",
+    "format_diff",
+    "load_bench",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]
+
+#: Schema tag; bump on incompatible layout changes.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Keys every scenario entry must carry (enforced by validate_bench and
+#: schema-checked in tests).
+_SCENARIO_KEYS = ("name", "scheduler", "trace", "jobs", "seed",
+                  "wall_seconds", "events", "events_per_sec",
+                  "peak_rss_mb", "makespan_hrs", "avg_jct_hrs", "phases")
+#: Top-level keys of a bench document.
+_DOC_KEYS = ("schema", "created", "quick", "python", "platform",
+             "scenarios", "totals")
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One cell of the benchmark matrix."""
+
+    scheduler: str
+    trace: str
+    jobs: int
+    seed: int = 7
+
+    @property
+    def name(self) -> str:
+        return f"{self.scheduler}/{self.trace}@{self.jobs}j-s{self.seed}"
+
+    @property
+    def key(self) -> Tuple[str, str, int, int]:
+        """Identity used to match scenarios across bench files."""
+        return (self.scheduler, self.trace, self.jobs, self.seed)
+
+
+#: Quick matrix: the CI per-PR perf gate (seconds, not minutes).
+QUICK_MATRIX: Tuple[BenchScenario, ...] = (
+    BenchScenario("fifo", "venus", 120),
+    BenchScenario("tiresias", "venus", 120),
+    BenchScenario("lucid", "venus", 120),
+)
+
+#: Full matrix: scheduler sweep across two trace scales.
+FULL_MATRIX: Tuple[BenchScenario, ...] = tuple(
+    BenchScenario(scheduler, trace, jobs)
+    for trace, jobs in (("venus", 300), ("venus", 600), ("saturn", 600))
+    for scheduler in ("fifo", "sjf", "qssf", "tiresias", "lucid"))
+
+
+def run_scenario(scenario: BenchScenario) -> Dict[str, Any]:
+    """Run one profiled simulation and distill its bench record."""
+    # Imported lazily: repro's package __init__ pulls in the scheduler
+    # stack, which would make this module import-heavy for diff-only use.
+    from repro import Simulator, TraceGenerator, get_spec, make_scheduler
+
+    spec = get_spec(scenario.trace).with_jobs(scenario.jobs) \
+        .with_seed(scenario.seed)
+    generator = TraceGenerator(spec)
+    profiler = SimProfiler()
+    simulator = Simulator(generator.build_cluster(), generator.generate(),
+                          make_scheduler(scenario.scheduler,
+                                         generator.generate_history()),
+                          profile=profiler)
+    result = simulator.run()
+    profile = profiler.to_dict()
+    return {
+        "name": scenario.name,
+        "scheduler": scenario.scheduler,
+        "trace": scenario.trace,
+        "jobs": scenario.jobs,
+        "seed": scenario.seed,
+        "wall_seconds": profile["wall_seconds"],
+        "events": profile["events_processed"],
+        "events_per_sec": profile["events_per_sec"],
+        "peak_rss_mb": profile["peak_rss_mb"],
+        "makespan_hrs": result.makespan / 3600.0,
+        "avg_jct_hrs": result.avg_jct / 3600.0,
+        "phases": {
+            "event_kinds": profile["event_kinds"],
+            "schedule_passes": profile["schedule_passes"],
+            "spans": profile["spans"],
+            "counters": profile["counters"],
+        },
+    }
+
+
+def run_bench(scenarios: Sequence[BenchScenario],
+              quick: bool = False,
+              created: Optional[str] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, Any]:
+    """Run a scenario matrix and assemble the bench document."""
+    entries: List[Dict[str, Any]] = []
+    for scenario in scenarios:
+        if progress is not None:
+            progress(f"bench: {scenario.name} ...")
+        entries.append(run_scenario(scenario))
+    wall = sum(e["wall_seconds"] for e in entries)
+    events = sum(e["events"] for e in entries)
+    rss = [e["peak_rss_mb"] for e in entries if e["peak_rss_mb"] is not None]
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": created if created is not None
+        else time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "scenarios": entries,
+        "totals": {
+            "wall_seconds": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "peak_rss_mb": max(rss) if rss else None,
+        },
+    }
+
+
+def bench_filename(created: Optional[float] = None) -> str:
+    """Canonical ``BENCH_<timestamp>.json`` name for a fresh run."""
+    stamp = time.strftime(
+        "%Y%m%d-%H%M%S",
+        time.localtime(created) if created is not None else time.localtime())
+    return f"BENCH_{stamp}.json"
+
+
+def validate_bench(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid bench file."""
+    if not isinstance(document, dict):
+        raise ValueError("bench document must be a JSON object")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"unsupported bench schema "
+                         f"{document.get('schema')!r}; "
+                         f"expected {BENCH_SCHEMA!r}")
+    missing = [k for k in _DOC_KEYS if k not in document]
+    if missing:
+        raise ValueError(f"bench document misses keys: {missing}")
+    scenarios = document["scenarios"]
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ValueError("bench document has no scenarios")
+    for entry in scenarios:
+        gone = [k for k in _SCENARIO_KEYS if k not in entry]
+        if gone:
+            raise ValueError(
+                f"scenario {entry.get('name', '?')!r} misses keys: {gone}")
+        if entry["events_per_sec"] < 0 or entry["wall_seconds"] < 0:
+            raise ValueError(
+                f"scenario {entry['name']!r} has negative measurements")
+
+
+def write_bench(document: Dict[str, Any], path: str) -> None:
+    validate_bench(document)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path) as handle:
+        document = json.load(handle)
+    validate_bench(document)
+    return document
+
+
+# ----------------------------------------------------------------------
+# Regression diffing
+# ----------------------------------------------------------------------
+def _scenario_key(entry: Dict[str, Any]) -> Tuple[str, str, int, int]:
+    return (entry["scheduler"], entry["trace"], entry["jobs"], entry["seed"])
+
+
+def diff_bench(baseline: Dict[str, Any], candidate: Dict[str, Any],
+               threshold: float = 0.25
+               ) -> Tuple[List[Dict[str, Any]], List[str]]:
+    """Compare two bench documents on events/sec.
+
+    Returns ``(rows, regressions)``: one row per scenario shared by both
+    documents (matched on the ``(scheduler, trace, jobs, seed)`` key)
+    plus a list of human-readable regression descriptions for scenarios
+    whose candidate throughput fell more than ``threshold`` below the
+    baseline.  Scenarios present in only one document are reported as
+    rows with a ``note`` and never count as regressions.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    base_by_key = {_scenario_key(e): e for e in baseline["scenarios"]}
+    cand_by_key = {_scenario_key(e): e for e in candidate["scenarios"]}
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for key in sorted(set(base_by_key) | set(cand_by_key)):
+        base = base_by_key.get(key)
+        cand = cand_by_key.get(key)
+        if base is None or cand is None:
+            rows.append({
+                "name": (cand or base)["name"],
+                "baseline_eps": base["events_per_sec"] if base else None,
+                "candidate_eps": cand["events_per_sec"] if cand else None,
+                "ratio": None,
+                "note": "baseline-only" if cand is None else "new scenario",
+            })
+            continue
+        base_eps = base["events_per_sec"]
+        cand_eps = cand["events_per_sec"]
+        ratio = cand_eps / base_eps if base_eps > 0 else float("inf")
+        row = {
+            "name": cand["name"],
+            "baseline_eps": base_eps,
+            "candidate_eps": cand_eps,
+            "ratio": ratio,
+            "note": "",
+        }
+        if ratio < 1.0 - threshold:
+            row["note"] = "REGRESSION"
+            regressions.append(
+                f"{cand['name']}: events/sec fell "
+                f"{(1.0 - ratio) * 100.0:.1f}% "
+                f"({base_eps:,.0f} -> {cand_eps:,.0f}; "
+                f"threshold {threshold * 100.0:.0f}%)")
+        rows.append(row)
+    return rows, regressions
+
+
+def format_diff(rows: Sequence[Dict[str, Any]],
+                regressions: Sequence[str],
+                threshold: float) -> str:
+    """Human-readable diff report."""
+    lines = [f"{'scenario':<28} {'baseline ev/s':>14} "
+             f"{'candidate ev/s':>15} {'ratio':>7}  note"]
+    for row in rows:
+        base = (f"{row['baseline_eps']:,.0f}"
+                if row["baseline_eps"] is not None else "-")
+        cand = (f"{row['candidate_eps']:,.0f}"
+                if row["candidate_eps"] is not None else "-")
+        ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "-"
+        lines.append(f"{row['name']:<28} {base:>14} {cand:>15} "
+                     f"{ratio:>7}  {row['note']}")
+    if regressions:
+        lines.append(f"bench: {len(regressions)} regression(s) beyond "
+                     f"{threshold * 100.0:.0f}%:")
+        lines.extend(f"  {r}" for r in regressions)
+    else:
+        lines.append(f"bench: no events/sec regression beyond "
+                     f"{threshold * 100.0:.0f}%")
+    return "\n".join(lines)

@@ -188,6 +188,9 @@ class Telemetry:
     registry: Optional[MetricsRegistry] = None
     #: Scheduler decision audit, when the active scheduler kept one.
     audit: Optional[Any] = None
+    #: Events evicted from the tracer's ring buffer on overflow; nonzero
+    #: means :attr:`events` is a truncated suffix of the run.
+    dropped_events: int = 0
 
     def counts_by_kind(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}

@@ -157,6 +157,11 @@ class RingBufferTracer(Tracer):
         self._sink: Optional[IO[str]] = None
         self._owns_sink = False
         self.n_emitted = 0
+        #: Events evicted from the ring buffer on overflow.  Silent loss
+        #: is a footgun for long runs, so the count is surfaced on
+        #: ``Telemetry.dropped_events`` and by ``repro trace``.  The JSONL
+        #: sink (when set) still receives every event.
+        self.n_dropped = 0
         if isinstance(sink, str):
             self._sink_path = sink
         elif sink is not None:
@@ -166,6 +171,8 @@ class RingBufferTracer(Tracer):
     def emit(self, time: float, kind: str, job_id: Optional[int] = None,
              **data: Any) -> None:
         event = TraceEvent(time=time, kind=kind, job_id=job_id, data=data)
+        if len(self._buffer) == self.capacity:
+            self.n_dropped += 1  # deque evicts the oldest event FIFO
         self._buffer.append(event)
         self.n_emitted += 1
         if self._sink_path is not None and self._sink is None:

@@ -6,6 +6,7 @@ from typing import Callable, List, Optional
 
 from repro.cluster.placement import find_consolidated
 from repro.obs.logutil import get_logger
+from repro.obs.prof import NULL_SPAN
 from repro.workloads.job import Job, JobStatus
 
 logger = get_logger("schedulers")
@@ -51,6 +52,29 @@ class Scheduler:
             engine.tracer.emit(now, kind,
                                job.job_id if job is not None else None,
                                scheduler=self.name, **data)
+
+    def profile_count(self, name: str, n: int = 1) -> None:
+        """Bump a hot-path counter on the engine's profiler (no-op off).
+
+        Schedulers use this to expose invocation counts of their
+        expensive inner machinery (binder mate searches, estimator
+        predictions, ...) to ``Simulator(profile=...)``.
+        """
+        engine = self.engine
+        if engine is not None and engine.profiler is not None:
+            engine.profiler.count(name, n)
+
+    def profile_span(self, name: str):
+        """Context manager timing a named pass phase when profiling.
+
+        Returns the shared no-op span when the engine is unprofiled, so
+        ``with self.profile_span("lucid.control"):`` costs one attribute
+        check on plain runs and never touches simulated state.
+        """
+        engine = self.engine
+        if engine is not None and engine.profiler is not None:
+            return engine.profiler.span(name)
+        return NULL_SPAN
 
     def on_job_submit(self, job: Job, now: float) -> None:
         self.queue.append(job)

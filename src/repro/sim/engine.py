@@ -35,6 +35,8 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
 from repro.obs.logutil import get_logger
 from repro.obs.metrics import MetricsRegistry, Telemetry
+from repro.obs.prof import SimProfiler
+from repro.obs.series import SeriesCollector
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.metrics import FaultStats, SimulationResult, UtilizationTracker
@@ -100,6 +102,19 @@ class Simulator:
         sanitizer is read-only — a sanitized run is bit-identical to an
         unsanitized one — and entirely absent when disabled (zero
         overhead).
+    profile:
+        Self-profiling (:class:`~repro.obs.prof.SimProfiler`): pass
+        ``True`` (a profiler is created) or a profiler instance to
+        measure wall time per event kind and scheduler pass, hot-path
+        invocation counts, events/sec and peak RSS.  The profiler obeys
+        the same ``None``-when-off zero-overhead contract as the tracer
+        and sanitizer; a profiled run is bit-identical to a plain one.
+    series:
+        Cluster time-series sampling
+        (:class:`~repro.obs.series.SeriesCollector`): samples GPU
+        allocation / sharing, per-VC queue depth, fragmentation and job
+        counts on a fixed simulated-time grid.  Read-only; bit-identical
+        results; ``None`` when off.
     """
 
     def __init__(self, cluster: Cluster, jobs: Sequence[Job], scheduler,
@@ -108,7 +123,9 @@ class Simulator:
                  model_cpu: bool = False,
                  tracer: Optional[Tracer] = None,
                  faults: Optional[Union["FaultSpec", "FaultInjector"]] = None,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 profile: Union[bool, SimProfiler, None] = None,
+                 series: Optional[SeriesCollector] = None) -> None:
         self.cluster = cluster
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -152,6 +169,18 @@ class Simulator:
         if sanitize:
             from repro.checks.sanitizer import SimSanitizer
             self.sanitizer = SimSanitizer(self)
+
+        #: Self-profiler (:mod:`repro.obs.prof`); ``None`` when disabled
+        #: so every hook site costs one identity check.
+        self.profiler: Optional[SimProfiler] = None
+        if profile:
+            self.profiler = (profile if isinstance(profile, SimProfiler)
+                             else SimProfiler())
+        #: Time-series collector (:mod:`repro.obs.series`); ``None`` when
+        #: disabled.
+        self.series = series
+        if self.series is not None:
+            self.series.attach(self)
 
     # ------------------------------------------------------------------
     # Public API for schedulers
@@ -270,6 +299,10 @@ class Simulator:
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
         self._maybe_schedule_tick()
         sanitizer = self.sanitizer
+        profiler = self.profiler
+        series = self.series
+        if profiler is not None:
+            profiler.start_run()
 
         while self._unfinished > 0:
             if not self.events:
@@ -286,24 +319,42 @@ class Simulator:
                         f"{len(stuck)} unfinished jobs (first: {stuck[:5]})")
                 continue
             event = self.events.pop()
+            if series is not None:
+                # Grid points strictly before this batch sample the state
+                # the previous batch left behind (piecewise-constant).
+                series.advance_to(max(self.now, event.time))
             self.now = max(self.now, event.time)
-            self._dispatch(event)
+            self._dispatch_profiled(event, profiler)
             if sanitizer is not None:
                 sanitizer.after_dispatch(event)
+                if profiler is not None:
+                    profiler.count("sanitizer_sweeps")
             # Drain all simultaneous events before invoking the scheduler.
             while self.events and self.events.peek_time() <= self.now + _EPS:
                 event = self.events.pop()
-                self._dispatch(event)
+                self._dispatch_profiled(event, profiler)
                 if sanitizer is not None:
                     sanitizer.after_dispatch(event)
+                    if profiler is not None:
+                        profiler.count("sanitizer_sweeps")
             self._invoke_scheduler()
             if sanitizer is not None:
                 sanitizer.after_schedule()
+                if profiler is not None:
+                    profiler.count("sanitizer_sweeps")
+            if series is not None:
+                # A grid point landing exactly on this batch's timestamp
+                # samples once, after the whole batch and scheduler pass.
+                series.sample_if_due(self.now)
             self._maybe_schedule_tick()
             if self._events_processed > self.max_events:
                 raise RuntimeError("max_events exceeded; likely a livelock")
 
         self.utilization.update(self.now)
+        if series is not None:
+            series.finalize(self.now)
+        if profiler is not None:
+            profiler.finish_run(self._events_processed, self.now)
         logger.info("run done: makespan %.0fs, %d events dispatched",
                     self.now, self._events_processed)
         fault_stats: Optional[FaultStats] = None
@@ -337,21 +388,38 @@ class Simulator:
         logger.info("fault injection armed: %d events from seed %d",
                     scheduled, injector.spec.seed)
 
+    def _dispatch_profiled(self, event, profiler: Optional[SimProfiler]
+                           ) -> None:
+        """Dispatch one event, billing its wall time when profiling."""
+        if profiler is None:
+            self._dispatch(event)
+            return
+        profiler.enter()
+        self._dispatch(event)
+        profiler.exit_event(event.kind.value)
+
     def _invoke_scheduler(self) -> None:
-        """Run one scheduling pass, timing it when tracing is on."""
-        if not self._tracing:
+        """Run one scheduling pass, timing it when traced or profiled.
+
+        Wall-clock telemetry of scheduler latency never feeds back into
+        simulated time; this method is on the RPR002 instrumentation
+        allowlist (see :mod:`repro.checks.lint`).
+        """
+        profiler = self.profiler
+        if not self._tracing and profiler is None:
             self.scheduler.schedule(self.now)
             return
-        # Wall-clock telemetry of scheduler latency: never feeds back into
-        # simulated time, so it is exempt from the determinism lint.
-        started = _time.perf_counter()  # repro: noqa RPR002
+        started = _time.perf_counter()
         self.scheduler.schedule(self.now)
-        elapsed = _time.perf_counter() - started  # repro: noqa RPR002
-        self.metrics.histogram("schedule_seconds").observe(elapsed)
-        queue = getattr(self.scheduler, "queue", None)
-        if queue is not None:
-            self.metrics.gauge("queue_depth").set(float(len(queue)),
-                                                  time=self.now)
+        elapsed = _time.perf_counter() - started
+        if profiler is not None:
+            profiler.add_pass(elapsed)
+        if self._tracing:
+            self.metrics.histogram("schedule_seconds").observe(elapsed)
+            queue = getattr(self.scheduler, "queue", None)
+            if queue is not None:
+                self.metrics.gauge("queue_depth").set(float(len(queue)),
+                                                      time=self.now)
 
     def _build_telemetry(self) -> Optional[Telemetry]:
         if not self._tracing:
@@ -360,7 +428,8 @@ class Simulator:
         return Telemetry(events=list(events) if events is not None else [],
                          metrics=self.metrics.snapshot(),
                          registry=self.metrics,
-                         audit=getattr(self.scheduler, "audit", None))
+                         audit=getattr(self.scheduler, "audit", None),
+                         dropped_events=getattr(self.tracer, "n_dropped", 0))
 
     # ------------------------------------------------------------------
     # Event dispatch
@@ -532,6 +601,8 @@ class Simulator:
         With the CPU model enabled, occupancy changes shift every
         co-located job's CPU share, so the refresh widens to whole nodes.
         """
+        if self.profiler is not None:
+            self.profiler.count("speed_refreshes")
         affected = set()
         if self.model_cpu:
             for node_id in sorted({gpu.node_id for gpu in gpus}):

@@ -1,0 +1,187 @@
+"""Tests for the ``repro bench`` perf harness (repro.obs.bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchScenario,
+    bench_filename,
+    diff_bench,
+    format_diff,
+    load_bench,
+    run_bench,
+    run_scenario,
+    validate_bench,
+    write_bench,
+)
+
+
+def _document(n_jobs=40):
+    scenarios = (BenchScenario("fifo", "venus", n_jobs),
+                 BenchScenario("tiresias", "venus", n_jobs))
+    return run_bench(scenarios, quick=True)
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    """One real quick-bench document shared across this module."""
+    return _document()
+
+
+class TestScenario:
+    def test_name_and_key(self):
+        scenario = BenchScenario("lucid", "venus", 120)
+        assert scenario.name == "lucid/venus@120j-s7"
+        assert scenario.key == ("lucid", "venus", 120, 7)
+
+    def test_run_scenario_record(self):
+        record = run_scenario(BenchScenario("fifo", "venus", 30))
+        assert record["scheduler"] == "fifo"
+        assert record["events"] > 0
+        assert record["wall_seconds"] > 0
+        assert record["events_per_sec"] > 0
+        assert record["makespan_hrs"] > 0
+        phases = record["phases"]
+        assert sum(v["count"] for v in phases["event_kinds"].values()) == \
+            record["events"]
+        assert phases["schedule_passes"]["count"] > 0
+
+
+class TestDocument:
+    def test_schema_and_totals(self, bench_doc):
+        validate_bench(bench_doc)  # must not raise
+        assert bench_doc["schema"] == BENCH_SCHEMA
+        assert len(bench_doc["scenarios"]) == 2
+        totals = bench_doc["totals"]
+        assert totals["events"] == sum(s["events"]
+                                       for s in bench_doc["scenarios"])
+        assert totals["events_per_sec"] > 0
+
+    def test_write_load_round_trip(self, bench_doc, tmp_path):
+        path = str(tmp_path / bench_filename())
+        write_bench(bench_doc, path)
+        assert load_bench(path) == json.loads(open(path).read())
+
+    def test_filename_shape(self):
+        name = bench_filename()
+        assert name.startswith("BENCH_") and name.endswith(".json")
+
+    def test_validate_rejects_bad_documents(self, bench_doc):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench({"schema": "nope"})
+        headless = copy.deepcopy(bench_doc)
+        del headless["totals"]
+        with pytest.raises(ValueError, match="totals"):
+            validate_bench(headless)
+        empty = copy.deepcopy(bench_doc)
+        empty["scenarios"] = []
+        with pytest.raises(ValueError, match="no scenarios"):
+            validate_bench(empty)
+        broken = copy.deepcopy(bench_doc)
+        del broken["scenarios"][0]["events_per_sec"]
+        with pytest.raises(ValueError, match="events_per_sec"):
+            validate_bench(broken)
+
+
+class TestDiff:
+    def test_identical_documents_pass(self, bench_doc):
+        rows, regressions = diff_bench(bench_doc, bench_doc)
+        assert not regressions
+        assert all(row["ratio"] == 1.0 for row in rows)
+
+    def test_injected_regression_detected(self, bench_doc):
+        slowed = copy.deepcopy(bench_doc)
+        slowed["scenarios"][0]["events_per_sec"] *= 0.5
+        rows, regressions = diff_bench(bench_doc, slowed, threshold=0.25)
+        assert len(regressions) == 1
+        name = bench_doc["scenarios"][0]["name"]
+        assert name in regressions[0]
+        flagged = [r for r in rows if r["note"] == "REGRESSION"]
+        assert [r["name"] for r in flagged] == [name]
+        report = format_diff(rows, regressions, 0.25)
+        assert "REGRESSION" in report
+        assert "1 regression(s)" in report
+
+    def test_regression_within_threshold_passes(self, bench_doc):
+        slowed = copy.deepcopy(bench_doc)
+        for entry in slowed["scenarios"]:
+            entry["events_per_sec"] *= 0.8  # -20% < 25% threshold
+        _, regressions = diff_bench(bench_doc, slowed, threshold=0.25)
+        assert not regressions
+
+    def test_unmatched_scenarios_never_regress(self, bench_doc):
+        extended = copy.deepcopy(bench_doc)
+        extra = copy.deepcopy(extended["scenarios"][0])
+        extra["scheduler"] = "sjf"
+        extra["name"] = "sjf/venus@40j-s7"
+        extended["scenarios"].append(extra)
+        rows, regressions = diff_bench(bench_doc, extended)
+        assert not regressions
+        assert [r["note"] for r in rows].count("new scenario") == 1
+        rows, regressions = diff_bench(extended, bench_doc)
+        assert not regressions
+        assert [r["note"] for r in rows].count("baseline-only") == 1
+
+    def test_threshold_validated(self, bench_doc):
+        with pytest.raises(ValueError, match="threshold"):
+            diff_bench(bench_doc, bench_doc, threshold=0.0)
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_valid_and_quick(self):
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..",
+                            "benchmarks", "results", "bench_baseline.json")
+        document = load_bench(path)
+        assert document["quick"] is True
+        keys = {(s["scheduler"], s["trace"], s["jobs"], s["seed"])
+                for s in document["scenarios"]}
+        from repro.obs.bench import QUICK_MATRIX
+        assert keys == {s.key for s in QUICK_MATRIX}
+
+
+class TestBenchCLI:
+    def test_quick_run_and_self_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "bench.json")
+        assert main(["bench", "--quick", "--jobs", "30",
+                     "--schedulers", "fifo", "--out", out]) == 0
+        document = load_bench(out)
+        assert {s["scheduler"] for s in document["scenarios"]} == {"fifo"}
+        # Diff-only mode against itself: identical, exit 0.
+        assert main(["bench", "--candidate", out, "--against", out]) == 0
+        assert "no events/sec regression" in capsys.readouterr().out
+
+    def test_cli_flags_regression(self, tmp_path, capsys):
+        from repro.cli import main
+
+        base = str(tmp_path / "base.json")
+        slow = str(tmp_path / "slow.json")
+        document = _document(n_jobs=30)
+        write_bench(document, base)
+        slowed = copy.deepcopy(document)
+        for entry in slowed["scenarios"]:
+            entry["events_per_sec"] *= 0.5
+        write_bench(slowed, slow)
+        assert main(["bench", "--candidate", slow, "--against", base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        # A looser threshold lets the same diff pass.
+        assert main(["bench", "--candidate", slow, "--against", base,
+                     "--threshold", "0.6"]) == 0
+
+    def test_cli_rejects_bad_usage(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--candidate", "whatever.json"]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        good = str(tmp_path / "good.json")
+        write_bench(_document(n_jobs=30), good)
+        assert main(["bench", "--candidate", str(bad),
+                     "--against", good]) == 2
+        err = capsys.readouterr().err
+        assert "invalid bench file" in err

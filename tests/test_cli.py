@@ -54,6 +54,42 @@ class TestSimulate:
         assert "avg JCT" in capsys.readouterr().out
 
 
+class TestTrace:
+    def test_tail_prints_last_events(self, tmp_path, capsys):
+        code = main(["trace", "--trace", "venus", "--jobs", "40",
+                     "--scheduler", "fifo", "--out", str(tmp_path),
+                     "--tail", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Last 3 of" in out
+        # The tail lines are the JSON event records themselves.
+        tail_lines = [line.strip() for line in out.splitlines()
+                      if line.strip().startswith("{")]
+        assert len(tail_lines) == 3
+        assert all('"kind"' in line for line in tail_lines)
+
+    def test_no_tail_by_default(self, tmp_path, capsys):
+        code = main(["trace", "--trace", "venus", "--jobs", "40",
+                     "--scheduler", "fifo", "--out", str(tmp_path)])
+        assert code == 0
+        out, err = capsys.readouterr()
+        assert "Last " not in out
+        # A roomy default ring drops nothing, so no overflow warning.
+        assert "overflowed" not in err
+
+    def test_drop_warning_on_overflow(self, tmp_path, capsys, monkeypatch):
+        import repro.cli as cli
+        real = cli.RingBufferTracer
+        monkeypatch.setattr(cli, "RingBufferTracer",
+                            lambda **kw: real(capacity=16, **kw))
+        code = main(["trace", "--trace", "venus", "--jobs", "40",
+                     "--scheduler", "fifo", "--out", str(tmp_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ring buffer overflowed" in err
+        assert "oldest events dropped" in err
+
+
 class TestCompare:
     def test_compare_two(self, capsys):
         code = main(["compare", "--trace", "venus", "--jobs", "80",

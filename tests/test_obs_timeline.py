@@ -102,6 +102,60 @@ class TestBuildChromeTrace:
         assert any(e["ph"] == "C" for e in doc["traceEvents"])
 
 
+class TestFaultsTrack:
+    """Fault-injection events render on their own synthetic process."""
+
+    _FAULT_PID = 88_888
+
+    def _fault_events(self):
+        return [
+            TraceEvent(0.0, "submit", 1, {}),
+            TraceEvent(5.0, "start", 1,
+                       {"gpus": [0], "nodes": [0], "speed": 1.0,
+                        "mates": [], "profiling": False}),
+            TraceEvent(30.0, "node_fail", None, {"node": 2}),
+            TraceEvent(40.0, "crash", 1, {"node": 0}),
+            TraceEvent(55.0, "retry", 1, {"attempt": 1}),
+            TraceEvent(70.0, "node_recover", None, {"node": 2}),
+        ]
+
+    def test_fault_instants_on_fault_pid(self):
+        doc = build_chrome_trace(self._fault_events())
+        instants = [e for e in doc["traceEvents"]
+                    if e["ph"] == "i" and e["pid"] == self._FAULT_PID]
+        assert [e["name"] for e in instants] == [
+            "node_fail (node 2)",
+            "crash job 1 (node 0)",
+            "retry job 1",
+            "node_recover (node 2)",
+        ]
+        assert all(e["cat"] == "fault" for e in instants)
+        # Job-scoped fault instants carry the job id in args.
+        crash = next(e for e in instants if e["name"].startswith("crash"))
+        assert crash["args"]["job_id"] == 1
+        assert crash["ts"] == 40.0e6
+
+    def test_crash_closes_the_gpu_lane(self):
+        doc = build_chrome_trace(self._fault_events())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        lane = complete[0]
+        assert lane["args"]["outcome"] == "crash"
+        assert lane["ts"] == 5.0e6
+        assert lane["dur"] == 35.0e6  # start 5s, crash 40s
+
+    def test_faults_process_named(self):
+        doc = build_chrome_trace(self._fault_events())
+        names = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names[self._FAULT_PID] == "faults"
+
+    def test_no_fault_process_without_fault_events(self):
+        doc = build_chrome_trace(_synthetic_events())
+        assert not any(e["pid"] == self._FAULT_PID
+                       for e in doc["traceEvents"])
+
+
 class TestMetricsRegistry:
     def test_counter_gauge_histogram(self):
         registry = MetricsRegistry()

@@ -49,6 +49,18 @@ class TestRingBufferTracer:
         assert tracer.n_emitted == 5
         assert [e.job_id for e in tracer.events] == [2, 3, 4]
 
+    def test_drop_count_on_overflow(self):
+        tracer = RingBufferTracer(capacity=5)
+        for i in range(3):
+            tracer.emit(float(i), "submit", i)
+        assert tracer.n_dropped == 0
+        for i in range(3, 8):
+            tracer.emit(float(i), "submit", i)
+        # 8 emitted into a 5-slot ring: the 3 oldest were dropped.
+        assert tracer.n_dropped == 3
+        assert tracer.n_emitted == 8
+        assert len(tracer.events) == 5
+
     def test_jsonl_sink_round_trip(self, tmp_path):
         path = str(tmp_path / "events.jsonl")
         with RingBufferTracer(sink=path) as tracer:
@@ -115,6 +127,17 @@ class TestEngineTracing:
         assert baseline.telemetry is None
         assert nulled.telemetry is None
         assert traced.telemetry is not None
+
+    def test_dropped_events_surface_on_telemetry(self):
+        # A roomy buffer loses nothing; a tiny one reports its losses.
+        roomy, _ = _run_fifo(tracer=RingBufferTracer())
+        assert roomy.telemetry.dropped_events == 0
+        tight_tracer = RingBufferTracer(capacity=16)
+        tight, _ = _run_fifo(tracer=tight_tracer)
+        assert tight.telemetry.dropped_events == tight_tracer.n_dropped
+        assert tight.telemetry.dropped_events == \
+            tight_tracer.n_emitted - len(tight_tracer.events)
+        assert tight.telemetry.dropped_events > 0
 
 
 class TestMaxEventsCounting:
