@@ -24,6 +24,15 @@ bench
     profiler attached and write a ``BENCH_<timestamp>.json`` perf
     record; ``--against FILE`` diffs against a previous bench file and
     exits non-zero when events/sec regressed beyond ``--threshold``.
+report
+    Run one simulation with the full observability stack (profiler,
+    series collector, attribution-enabled audit) and write a
+    self-contained ``report.html`` plus its ``report.json`` twin;
+    ``--against FILE`` embeds a bench-baseline diff table.
+explain
+    Print the recorded placement explanation of one job — either from a
+    fresh run or from a previously exported ``audit.jsonl``; supports
+    ``--what-if feature=value`` counterfactual probes.
 
 The global ``--log-level`` flag (before the command) controls the
 ``repro.*`` logger tree, e.g. ``repro --log-level info simulate``.
@@ -123,6 +132,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated scheduler subset override")
     bench.add_argument("--jobs", type=int, default=None,
                        help="override the job count of every scenario")
+
+    report = sub.add_parser(
+        "report", help="run once and write a self-contained HTML+JSON "
+                       "run report")
+    _trace_args(report)
+    report.add_argument("--scheduler", default="lucid",
+                        choices=SCHEDULER_CHOICES)
+    report.add_argument("--out", metavar="DIR", default="report-out",
+                        help="output directory (default: report-out)")
+    report.add_argument("--against", metavar="FILE", default=None,
+                        help="bench baseline to diff this run against "
+                             "(matching scenarios only)")
+    report.add_argument("--series-interval", type=float, default=300.0,
+                        help="time-series sampling interval in simulated "
+                             "seconds (default: 300)")
+
+    explain = sub.add_parser(
+        "explain", help="explain one job's recorded placement decision")
+    _trace_args(explain)
+    explain.add_argument("job_id", type=int,
+                         help="job id to explain")
+    explain.add_argument("--scheduler", default="lucid",
+                         choices=SCHEDULER_CHOICES)
+    explain.add_argument("--audit", metavar="FILE", default=None,
+                         help="read decisions from an exported "
+                              "audit.jsonl instead of running a "
+                              "simulation")
+    explain.add_argument("--format", choices=("text", "json"),
+                         default="text", help="output format")
+    explain.add_argument("--what-if", metavar="FEATURE=VALUE",
+                         action="append", default=None,
+                         help="counterfactual probe: re-run the frozen "
+                              "duration model with one feature "
+                              "overridden (repeatable; requires a live "
+                              "run, not --audit)")
     return parser
 
 
@@ -489,6 +533,174 @@ def cmd_bench(args) -> int:
     return 1 if regressions else 0
 
 
+def _report_bench_diff(args, profiler, result, n_jobs: int):
+    """Diff this run against a bench baseline for the report.
+
+    Builds a one-scenario pseudo-candidate from the run's own profiler
+    and keeps only the rows touching this run's scenario key, so the
+    embedded table answers "did *this* run regress?" rather than
+    re-printing the whole baseline.
+    """
+    from repro.obs.bench import BenchScenario, diff_bench, load_bench
+
+    baseline = load_bench(args.against)
+    seed = args.seed
+    if seed is None:
+        try:
+            seed = get_spec(args.trace.lower()).seed
+        except KeyError:
+            seed = 0
+    scenario = BenchScenario(args.scheduler, args.trace.lower(), n_jobs,
+                             seed)
+    profile = profiler.to_dict()
+    entry = {
+        "name": scenario.name,
+        "scheduler": scenario.scheduler,
+        "trace": scenario.trace,
+        "jobs": scenario.jobs,
+        "seed": scenario.seed,
+        "wall_seconds": profile["wall_seconds"],
+        "events": profile["events_processed"],
+        "events_per_sec": profile["events_per_sec"],
+        "peak_rss_mb": profile["peak_rss_mb"],
+        "makespan_hrs": result.makespan / 3600.0,
+        "avg_jct_hrs": result.avg_jct / 3600.0,
+        "phases": {},
+    }
+    rows, regressions = diff_bench(baseline, {"scenarios": [entry]})
+    rows = [row for row in rows if row["name"] == scenario.name]
+    regressions = [r for r in regressions if r.startswith(scenario.name)]
+    if not rows:
+        rows = [{"name": scenario.name, "baseline_eps": None,
+                 "candidate_eps": entry["events_per_sec"], "ratio": None,
+                 "note": "no matching baseline scenario"}]
+    return {"baseline": args.against, "threshold": 0.25, "rows": rows,
+            "regressions": regressions}
+
+
+def cmd_report(args) -> int:
+    from repro.obs import SeriesCollector, SimProfiler
+    from repro.obs.audit import DecisionAudit
+    from repro.obs.report import build_report, write_report
+
+    os.makedirs(args.out, exist_ok=True)
+    cluster, history, jobs = _load(args)
+    scheduler = make_scheduler(args.scheduler, history)
+    audit = None
+    if hasattr(scheduler, "audit"):
+        audit = DecisionAudit(attribution=True)
+        scheduler.audit = audit
+    print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
+          f"({len(cluster.vcs)} VCs) under {args.scheduler} [report]")
+    profiler = SimProfiler()
+    series = SeriesCollector(interval=args.series_interval)
+    simulator = Simulator(cluster, jobs, scheduler,
+                          profile=profiler, series=series,
+                          faults=_fault_spec(args),
+                          sanitize=args.sanitize)
+    result = simulator.run()
+    _print_sanitizer_summary(simulator)
+    _print_fault_summary(result)
+    bench_diff = None
+    if args.against is not None:
+        try:
+            bench_diff = _report_bench_diff(args, profiler, result,
+                                            len(jobs))
+        except ValueError as exc:
+            print(f"error: invalid bench file {args.against}: {exc}",
+                  file=sys.stderr)
+            return 2
+    document = build_report(result, scheduler=args.scheduler,
+                            trace=args.trace, jobs=len(jobs),
+                            seed=args.seed, profiler=profiler,
+                            series=series, audit=audit,
+                            bench_diff=bench_diff)
+    html_path, json_path = write_report(document, args.out)
+    if audit is not None:
+        decisions, with_attr = audit.attribution_coverage()
+        if decisions:
+            print(f"attribution coverage: {with_attr}/{decisions} "
+                  f"({with_attr / decisions:.1%}) main-cluster "
+                  "placements")
+    print(f"wrote {html_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+def _parse_what_if(specs) -> dict:
+    """``FEATURE=VALUE`` strings -> override dict; ValueError on junk."""
+    overrides = {}
+    for spec in specs:
+        name, eq, raw = spec.partition("=")
+        if not eq or not name.strip():
+            raise ValueError(f"expected FEATURE=VALUE, got {spec!r}")
+        try:
+            overrides[name.strip()] = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"non-numeric value in {spec!r}") from None
+    return overrides
+
+
+def cmd_explain(args) -> int:
+    import json as _json
+
+    from repro.obs.audit import DecisionAudit
+
+    what_if = args.what_if or []
+    if args.audit is not None:
+        if what_if:
+            print("error: --what-if needs the frozen models of a live "
+                  "run; it cannot be combined with --audit",
+                  file=sys.stderr)
+            return 2
+        audit = DecisionAudit.from_jsonl(args.audit)
+    else:
+        cluster, history, jobs = _load(args)
+        scheduler = make_scheduler(args.scheduler, history)
+        if not hasattr(scheduler, "audit"):
+            print(f"error: scheduler {args.scheduler!r} records no "
+                  "decision audit (lucid-family only); use --audit FILE "
+                  "to explain an exported log", file=sys.stderr)
+            return 2
+        audit = DecisionAudit(attribution=True)
+        scheduler.audit = audit
+        Simulator(cluster, jobs, scheduler, faults=_fault_spec(args),
+                  sanitize=args.sanitize).run()
+    decisions = audit.for_job(args.job_id)
+    if not decisions:
+        print(f"no recorded decisions for job {args.job_id}",
+              file=sys.stderr)
+        return 1
+    try:
+        overrides = _parse_what_if(what_if)
+    except ValueError as exc:
+        print(f"error: bad --what-if: {exc}", file=sys.stderr)
+        return 2
+    counterfactual = None
+    if overrides:
+        try:
+            counterfactual = audit.counterfactual(args.job_id,
+                                                  **overrides)
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: counterfactual failed: {message}",
+                  file=sys.stderr)
+            return 2
+    if args.format == "json":
+        document = {"job_id": args.job_id,
+                    "decisions": [d.to_dict() for d in decisions]}
+        if counterfactual is not None:
+            document["counterfactual"] = counterfactual.to_dict()
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for decision in decisions:
+            print(decision.explain())
+        if counterfactual is not None:
+            print(counterfactual.render())
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.checks import format_json, format_text, lint_paths
 
@@ -511,6 +723,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "packing": cmd_packing,
         "lint": cmd_lint,
         "bench": cmd_bench,
+        "report": cmd_report,
+        "explain": cmd_explain,
     }
     # User-input errors exit with code 2 and a one-line message instead of
     # a traceback: missing files, unparsable traces, bad --faults specs.

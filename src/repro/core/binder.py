@@ -64,6 +64,10 @@ class AffineJobpairBinder:
         #: every mate search leaves a :class:`BinderVerdict` explaining
         #: the accepted mate or the rejection-reason census.
         self.audit: Optional[DecisionAudit] = None
+        #: Optional sharing-score attributor (``profile -> Attribution``),
+        #: bound by the scheduler when the audit has ``attribution=True``;
+        #: explains *why* the Packing Analyze Model scored the job.
+        self.attributor: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +136,11 @@ class AffineJobpairBinder:
                  candidates: int = 0) -> Optional[Job]:
         """Record the search outcome in the audit (when enabled)."""
         if self.audit is not None:
+            attribution = None
+            if (self.audit.attribution and self.attributor is not None
+                    and job.sharing_score is not None
+                    and job.measured_profile is not None):
+                attribution = self.attributor(job.measured_profile)
             self.audit.note_binder(BinderVerdict(
                 job_id=job.job_id,
                 mate_id=mate.job_id if mate is not None else None,
@@ -140,7 +149,8 @@ class AffineJobpairBinder:
                 job_score=job.sharing_score,
                 mate_score=mate.sharing_score if mate is not None else None,
                 candidates=candidates,
-                rejections=rejections))
+                rejections=rejections,
+                attribution=attribution))
         return mate
 
     @staticmethod

@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.models.attrib import Attribution, attribute_gam
 from repro.models.encoding import LabelEncoder, time_features
 from repro.models.gam import GA2MRegressor, GlobalExplanation, LocalExplanation
+from repro.models.metrics import r2_score
 from repro.models.text import cluster_job_names
 from repro.workloads.job import Job, JobRecord
 from repro.workloads.model_zoo import ResourceProfile
@@ -271,9 +273,82 @@ class WorkloadEstimateModel:
         y = np.log(np.array([r.duration for r in self._rows]))
         return X, y
 
+    def fit_quality(self) -> Tuple[float, int]:
+        """Training fit of the GA²M: ``(R², n_samples)``.
+
+        R² is computed in the model's native log-duration space over the
+        fitted history — the Update Engine surfaces it on refit audit
+        records so stale or degrading models are visible in telemetry.
+        """
+        self._check_fitted()
+        X, y = self.training_matrix()
+        return float(r2_score(y, self._model.predict(X))), int(len(y))
+
     # ------------------------------------------------------------------
     # Interpretation
     # ------------------------------------------------------------------
+    def attribute_vector(self, values: Sequence[float]) -> Attribution:
+        """GA²M attribution of a raw feature vector (counterfactuals).
+
+        The vector must align with :meth:`_feature_names`.  Contributions
+        are exact in the model's native log-duration space; the served
+        estimate additionally blends template history and clips, so
+        ``estimated_duration != exp(predicted)`` in general.
+        """
+        self._check_fitted()
+        attribution = attribute_gam(self._model, values,
+                                    feature_names=self._feature_names())
+        return _dc_replace(attribution,
+                           note="log-duration space; raw feature probe")
+
+    def attribute(self, job) -> Attribution:
+        """Attribution of one job's duration prediction (Figure 7c).
+
+        Always the GA²M's exact per-term decomposition in log-duration
+        space; ``note`` records which rung of the fallback ladder actually
+        served the estimate (template blend / model / same-GPU mean /
+        global mean), since the served value folds in template history
+        and clipping on top of the model output.
+        """
+        self._check_fitted()
+        row = _HistoryRow(
+            user=job.user, name=job.name, gpu_num=job.gpu_num,
+            submit_time=job.submit_time, duration=0.0,
+            profile=getattr(job, "measured_profile", None),
+            amp=getattr(job, "amp", False),
+        )
+        X = self._featurize([row])
+        attribution = attribute_gam(self._model, X[0],
+                                    feature_names=self._feature_names())
+        template = self._template_durations.get((row.user, row.name))
+        if template:
+            recent = template[-8:]
+            weight = min(0.9, len(recent) / (len(recent) + 1.0))
+            served = (f"served by template blend "
+                      f"({weight:.2f} history + {1 - weight:.2f} model)")
+        elif row.user in self._user_durations:
+            served = "served by GA2M model"
+        elif self._gpu_durations.get(row.gpu_num):
+            served = "served by same-GPU-demand mean"
+        else:
+            served = "served by global mean"
+        return _dc_replace(attribution,
+                           note=f"log-duration space; {served}")
+
+    def safe_attribute(self, job) -> Optional[Attribution]:
+        """:meth:`attribute` that degrades to ``None`` instead of raising.
+
+        The audit's attribution hook must never crash the scheduling loop
+        (mirror of :meth:`safe_predict`): a missing attribution merely
+        leaves one decision unexplained.
+        """
+        try:
+            return self.attribute(job)
+        except Exception:  # repro: noqa RPR007 — deliberate catch-all:
+            # attribution is observability, not control; any failure must
+            # degrade to "unexplained", never crash the simulation.
+            return None
+
     def explain_global(self) -> GlobalExplanation:
         self._check_fitted()
         return self._model.explain_global()

@@ -168,6 +168,21 @@ class LucidScheduler(Scheduler):
         self.update_engine = UpdateEngine(self.estimator,
                                           interval=cfg.update_interval)
         self.update_engine.audit = self.audit
+        self.update_engine.profiler = engine.profiler
+        if self.audit is not None and self.audit.attribution:
+            # Interpretability wiring: bind the frozen models' attributors
+            # so every placement decision carries a per-feature Attribution
+            # and ``audit.counterfactual`` can re-run the models on
+            # perturbed inputs.  Pure observers — scheduling decisions are
+            # bit-identical with attribution off.
+            if self.estimator is not None:
+                self.audit.bind_job_attributor(self.estimator.safe_attribute)
+                self.audit.bind_vector_attributor(
+                    "duration", self.estimator.attribute_vector)
+            if self.packing_model is not None:
+                self.binder.attributor = self.packing_model.attribute
+                self.audit.bind_vector_attributor(
+                    "sharing", self.packing_model.attribute_vector)
         self._next_control = 0.0
 
     # ------------------------------------------------------------------
@@ -414,4 +429,17 @@ class LucidScheduler(Scheduler):
                 self.queue.append(job)
 
         if self.update_engine is not None:
-            self.update_engine.maybe_refit(now)
+            refitted = self.update_engine.maybe_refit(now)
+            if refitted:
+                metrics = getattr(self.engine, "metrics", None)
+                if metrics is not None:
+                    # Surface refit quality in SimulationResult.telemetry
+                    # (traced runs only — metrics is None otherwise).
+                    metrics.counter("model_refits").inc()
+                    quality = self.update_engine.last_quality
+                    if quality is not None and quality[0] is not None:
+                        metrics.gauge("estimator_r2").set(
+                            float(quality[0]), now)
+                    if quality is not None and quality[1] is not None:
+                        metrics.gauge("estimator_fit_samples").set(
+                            float(quality[1]), now)

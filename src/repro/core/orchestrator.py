@@ -95,7 +95,8 @@ class ResourceOrchestrator:
                 sharing_mode=sharing_mode,
                 mate_id=mate.job_id if mate is not None else None,
                 starving=relieved,
-                binder=audit.take_binder(job.job_id)))
+                binder=audit.take_binder(job.job_id),
+                attribution=audit.attribution_for(job)))
 
         placed: List[Job] = []
         for job in ordered:

@@ -16,10 +16,12 @@ trains in well under a second (§4.4).
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.models.attrib import Attribution, attribute_tree
 from repro.models.metrics import accuracy
 from repro.models.tree import DecisionTreeClassifier
 from repro.workloads.colocation import InterferenceModel, average_colocation_speed
@@ -152,6 +154,25 @@ class PackingAnalyzeModel:
         imps = self.tree_.feature_importances()
         pairs = list(zip(FEATURE_NAMES, imps.tolist()))
         return sorted(pairs, key=lambda p: -p[1])
+
+    def attribute_vector(self, values: Sequence[float]) -> Attribution:
+        """Decision-path attribution of a raw feature vector.
+
+        The attributed quantity is the *expected* sharing score
+        ``sum_c c * P(class_c)`` (0 = Tiny, 1 = Medium, 2 = Jumbo), which
+        is exactly additive along the tree path — the categorical
+        :meth:`sharing_score` is its argmax-rounded sibling.
+        """
+        self._check_fitted()
+        attribution = attribute_tree(self.tree_, values,
+                                     feature_names=FEATURE_NAMES)
+        return _dc_replace(
+            attribution,
+            note="expected sharing score (0=Tiny, 1=Medium, 2=Jumbo)")
+
+    def attribute(self, profile: ResourceProfile) -> Attribution:
+        """Decision-path attribution of one profiled job's score."""
+        return self.attribute_vector(profile.as_features())
 
     def decision_path(self, profile: ResourceProfile) -> List[str]:
         """Readable predicate trail for one prediction."""

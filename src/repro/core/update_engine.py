@@ -47,6 +47,14 @@ class UpdateEngine:
         #: recorded there so stale-model questions ("was the estimator
         #: fresh when job 42 was placed?") are answerable post-hoc.
         self.audit: Optional[DecisionAudit] = None
+        #: Optional :class:`repro.obs.prof.SimProfiler` (the engine's, set
+        #: by the scheduler's ``attach``).  Refit wall time is measured
+        #: through its spans — simulation code never reads the wall clock
+        #: directly (RPR002) — and is ``None`` on unprofiled runs.
+        self.profiler = None
+        #: ``(r2, samples, wall_seconds)`` of the most recent refit, for
+        #: metric gauges; ``None`` until the first refit.
+        self.last_quality: Optional[tuple] = None
 
     def collect(self, record: JobRecord, now: float) -> None:
         """Absorb one completed job."""
@@ -68,12 +76,29 @@ class UpdateEngine:
             return False
         if self._new_records < self.min_new_records:
             return False
-        self.estimator.refit()
+        wall_seconds: Optional[float] = None
+        if self.profiler is not None:
+            before = self.profiler.span_seconds.get("lucid.refit", 0.0)
+            with self.profiler.span("lucid.refit"):
+                self.estimator.refit()
+            wall_seconds = (self.profiler.span_seconds.get("lucid.refit",
+                                                           0.0) - before)
+        else:
+            self.estimator.refit()
+        r2: Optional[float] = None
+        samples: Optional[int] = None
+        if self.audit is not None:
+            fit_quality = getattr(self.estimator, "fit_quality", None)
+            if fit_quality is not None:
+                r2, samples = fit_quality()
+        self.last_quality = (r2, samples, wall_seconds)
         logger.info("refit workload estimator at t=%.0fs on %d new records",
                     now, self._new_records)
         if self.audit is not None:
             self.audit.record_refit(now, "workload_estimate",
-                                    self._new_records)
+                                    self._new_records, r2=r2,
+                                    samples=samples,
+                                    wall_seconds=wall_seconds)
         self._last_refit = now
         self._new_records = 0
         self.refits += 1

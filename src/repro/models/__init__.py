@@ -7,6 +7,15 @@ models, a numpy MLP, PAV isotonic regression, Levenshtein distance and
 affinity propagation.
 """
 
+from repro.models.attrib import (
+    Attribution,
+    attribute_boosting,
+    attribute_forest,
+    attribute_gam,
+    attribute_isotonic,
+    attribute_model,
+    attribute_tree,
+)
 from repro.models.boosting import (
     GradientBoostingRegressor,
     lightgbm_like,
@@ -30,7 +39,7 @@ from repro.models.gam import (
     LocalExplanation,
     ShapeFunction,
 )
-from repro.models.isotonic import is_monotonic, isotonic_fit
+from repro.models.isotonic import IsotonicRegressor, is_monotonic, isotonic_fit
 from repro.models.metrics import accuracy, confusion_matrix, mae, r2_score, rmse
 from repro.models.nn import MLPRegressor
 from repro.models.text import (
@@ -46,6 +55,14 @@ from repro.models.tree import (
 )
 
 __all__ = [
+    "Attribution",
+    "attribute_boosting",
+    "attribute_forest",
+    "attribute_gam",
+    "attribute_isotonic",
+    "attribute_model",
+    "attribute_tree",
+    "IsotonicRegressor",
     "GradientBoostingRegressor",
     "lightgbm_like",
     "xgboost_like",

@@ -1,0 +1,396 @@
+"""Feature attribution for the interpretable model family.
+
+Lucid's pitch (§3.5, Figure 7) is that every scheduling decision flows
+through *transparent* models, so an operator can always ask "why did the
+model say that?".  This module gives that question a uniform answer: a
+single :class:`Attribution` record — per-feature contributions plus a bias
+and the predicted value — computable for every learner in
+:mod:`repro.models`:
+
+* **Decision-path contributions** for CART trees, random forests and
+  gradient boosting (Saabas-style): walking root→leaf, the change in the
+  node value across each split is credited to the split feature, so
+  ``bias + sum(contributions) == prediction`` *exactly* (up to float
+  round-off).  Forest attributions average per-tree attributions;
+  boosting attributions telescope across stages with the learning rate
+  folded in.  For classifiers the attributed quantity is the *expected
+  class value* ``sum_c class_c * P(class_c)`` (linear in the leaf
+  distribution, so ensemble averaging stays exact), or ``P(class_k)``
+  when ``class_index`` is given.
+* **Per-term contributions** for GA²M (each shape/interaction function's
+  score is already an additive term — Figure 7c) and isotonic regression
+  (a single-feature model: the one term is the deviation of the fitted
+  step function from its training mean).
+
+Everything here is duck-typed on the model objects' public attributes, so
+this module imports **no** model modules (the model classes lazily import
+this one from their ``attribute()`` convenience methods).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Attribution",
+    "attribute_tree",
+    "attribute_forest",
+    "attribute_boosting",
+    "attribute_gam",
+    "attribute_isotonic",
+    "attribute_model",
+]
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """One explained prediction: ``predicted = bias + sum(terms)``.
+
+    Attributes
+    ----------
+    model:
+        Short model-family tag (``"tree"``, ``"forest"``, ``"boosting"``,
+        ``"gam"``, ``"isotonic"``) for rendering and serialization.
+    predicted:
+        The model's prediction for this input.
+    bias:
+        The input-independent baseline (root value, intercept, training
+        mean — family-specific, see the module docstring).
+    features:
+        Names of the raw input features, in input order.
+    values:
+        The raw input vector, aligned with ``features``.
+    terms:
+        ``(term name, contribution)`` pairs.  Term names are usually
+        feature names; GA²M interaction terms use the pseudo-name
+        ``"a x b"``.  A feature can appear at most once — path
+        attributions fold repeated splits on one feature together.
+    note:
+        Free-form caveat attached by the producer (e.g. which branch of a
+        prediction ladder actually served the estimate).
+    """
+
+    model: str
+    predicted: float
+    bias: float
+    features: Tuple[str, ...] = ()
+    values: Tuple[float, ...] = ()
+    terms: Tuple[Tuple[str, float], ...] = ()
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    # Invariant
+    # ------------------------------------------------------------------
+    def contribution_sum(self) -> float:
+        return float(sum(score for _, score in self.terms))
+
+    def residual(self) -> float:
+        """``predicted - bias - sum(terms)`` — zero for exact methods."""
+        return self.predicted - self.bias - self.contribution_sum()
+
+    def check(self, tol: float = 1e-9) -> bool:
+        """Whether contributions sum to the prediction within ``tol``."""
+        return abs(self.residual()) <= tol
+
+    # ------------------------------------------------------------------
+    # Queries & rendering
+    # ------------------------------------------------------------------
+    def value_of(self, feature: str) -> float:
+        """The raw input value of one named feature."""
+        try:
+            return self.values[self.features.index(feature)]
+        except ValueError:
+            raise KeyError(f"unknown feature {feature!r}; "
+                           f"known: {list(self.features)}") from None
+
+    def top(self, k: Optional[int] = None) -> List[Tuple[str, float]]:
+        """Terms sorted by contribution magnitude, largest first."""
+        ordered = sorted(self.terms, key=lambda t: (-abs(t[1]), t[0]))
+        return list(ordered if k is None else ordered[:k])
+
+    def render(self, k: Optional[int] = 4) -> str:
+        """One-line human rendering, largest contributions first.
+
+        E.g. ``"0.83 <- +0.31 gpu_util, -0.12 hour (bias 0.64)"``.
+        """
+        shown = self.top(k)
+        parts = ", ".join(f"{score:+.3g} {name}" for name, score in shown)
+        omitted = len(self.terms) - len(shown)
+        if omitted > 0:
+            parts += f", ... {omitted} more"
+        if not parts:
+            parts = "no contributing terms"
+        return f"{self.predicted:.3g} <- {parts} (bias {self.bias:.3g})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "model": self.model,
+            "predicted": self.predicted,
+            "bias": self.bias,
+            "features": list(self.features),
+            "values": [_jsonable(v) for v in self.values],
+            "terms": [[name, score] for name, score in self.terms],
+        }
+        if self.note:
+            out["note"] = self.note
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Attribution":
+        return cls(
+            model=str(data["model"]),
+            predicted=float(data["predicted"]),
+            bias=float(data["bias"]),
+            features=tuple(str(f) for f in data.get("features", ())),
+            values=tuple(float("nan") if v is None else float(v)
+                         for v in data.get("values", ())),
+            terms=tuple((str(name), float(score))
+                        for name, score in data.get("terms", ())),
+            note=str(data.get("note", "")),
+        )
+
+
+def _jsonable(value: float) -> Optional[float]:
+    """NaN is not valid JSON; GA²M interaction values use it as "n/a"."""
+    return None if math.isnan(value) else value
+
+
+def _names(feature_names: Optional[Sequence[str]], n: int) -> List[str]:
+    if feature_names is None:
+        return [f"x{i}" for i in range(n)]
+    names = [str(name) for name in feature_names]
+    if len(names) != n:
+        raise ValueError(f"expected {n} feature names, got {len(names)}")
+    return names
+
+
+def _as_vector(x: Any) -> "np.ndarray[Any, Any]":
+    vec = np.asarray(x, dtype=float).ravel()
+    return vec
+
+
+# ----------------------------------------------------------------------
+# Decision-path attribution (trees, forests, boosting)
+# ----------------------------------------------------------------------
+def _node_scalar(node: Any, classes: Optional["np.ndarray[Any, Any]"],
+                 class_index: Optional[int]) -> float:
+    """Collapse one tree node's value vector to the attributed scalar."""
+    value = np.asarray(node.value, dtype=float)
+    if classes is None:
+        return float(value[0])
+    probs = value / value.sum()
+    if class_index is not None:
+        return float(probs[class_index])
+    return float(np.dot(np.asarray(classes, dtype=float), probs))
+
+
+def attribute_tree(model: Any, x: Any,
+                   feature_names: Optional[Sequence[str]] = None,
+                   class_index: Optional[int] = None) -> Attribution:
+    """Saabas decision-path attribution of one CART prediction.
+
+    Walking root→leaf, each split's change in node value is credited to
+    the split feature; the bias is the root value.  For classifiers
+    (detected via ``classes_``) the node value is the expected class
+    value, or ``P(classes_[class_index])`` when ``class_index`` is set.
+    """
+    root = model.root_
+    if root is None:
+        raise RuntimeError("model is not fitted")
+    vec = _as_vector(x)
+    names = _names(feature_names, int(model.n_features_))
+    classes = getattr(model, "classes_", None)
+    if class_index is not None:
+        if classes is None:
+            raise ValueError("class_index is only valid for classifiers")
+        if not 0 <= class_index < len(classes):
+            raise ValueError(f"class_index {class_index} out of range")
+
+    contributions: Dict[int, float] = {}
+    node = root
+    bias = _node_scalar(node, classes, class_index)
+    current = bias
+    while not node.is_leaf:
+        child = (node.left if vec[node.feature] <= node.threshold
+                 else node.right)
+        child_value = _node_scalar(child, classes, class_index)
+        contributions[node.feature] = (contributions.get(node.feature, 0.0)
+                                       + child_value - current)
+        current = child_value
+        node = child
+
+    terms = tuple((names[f], contributions[f])
+                  for f in sorted(contributions))
+    return Attribution(model="tree", predicted=current, bias=bias,
+                       features=tuple(names), values=tuple(vec.tolist()),
+                       terms=terms)
+
+
+def _zero_attribution(tag: str, names: Sequence[str],
+                      vec: "np.ndarray[Any, Any]") -> Attribution:
+    return Attribution(model=tag, predicted=0.0, bias=0.0,
+                       features=tuple(names), values=tuple(vec.tolist()),
+                       terms=())
+
+
+def attribute_forest(model: Any, x: Any,
+                     feature_names: Optional[Sequence[str]] = None,
+                     class_index: Optional[int] = None) -> Attribution:
+    """Mean of per-tree path attributions — exact for bagged averaging.
+
+    Classifier forests average per-tree probabilities, and both the
+    expected class value and ``P(class)`` are linear in those
+    probabilities, so averaging per-tree attributions reproduces the
+    ensemble prediction exactly.  A tree whose bootstrap sample never
+    contained the requested class predicts ``P = 0`` constantly and
+    contributes an all-zero attribution.
+    """
+    trees = model.estimators_
+    if not trees:
+        raise RuntimeError("model is not fitted")
+    vec = _as_vector(x)
+    names = _names(feature_names, int(trees[0].n_features_))
+    classes = getattr(model, "classes_", None)
+    if class_index is not None and classes is None:
+        raise ValueError("class_index is only valid for classifiers")
+
+    parts: List[Attribution] = []
+    for tree in trees:
+        local_index: Optional[int] = None
+        if class_index is not None:
+            assert classes is not None
+            wanted = classes[class_index]
+            matches = np.nonzero(tree.classes_ == wanted)[0]
+            if len(matches) == 0:
+                parts.append(_zero_attribution("tree", names, vec))
+                continue
+            local_index = int(matches[0])
+        parts.append(attribute_tree(tree, vec, feature_names=names,
+                                    class_index=local_index))
+
+    k = float(len(parts))
+    totals: Dict[str, float] = {}
+    for part in parts:
+        for name, score in part.terms:
+            totals[name] = totals.get(name, 0.0) + score / k
+    terms = tuple((name, totals[name])
+                  for name in names if name in totals)
+    return Attribution(
+        model="forest",
+        predicted=float(sum(p.predicted for p in parts)) / k,
+        bias=float(sum(p.bias for p in parts)) / k,
+        features=tuple(names), values=tuple(vec.tolist()), terms=terms)
+
+
+def attribute_boosting(model: Any, x: Any,
+                       feature_names: Optional[Sequence[str]] = None
+                       ) -> Attribution:
+    """Telescoped path attribution across gradient-boosting stages.
+
+    ``bias = init_ + sum_t lr * root_t`` (input-independent) and each
+    stage's path deltas are scaled by the learning rate, so the terms sum
+    exactly to ``model.predict(x) - bias``.
+    """
+    trees = model.estimators_
+    if not trees:
+        raise RuntimeError("model is not fitted")
+    vec = _as_vector(x)
+    names = _names(feature_names, int(trees[0].n_features_))
+    lr = float(model.learning_rate)
+
+    bias = float(model.init_)
+    predicted = float(model.init_)
+    totals: Dict[str, float] = {}
+    for tree in trees:
+        part = attribute_tree(tree, vec, feature_names=names)
+        bias += lr * part.bias
+        predicted += lr * part.predicted
+        for name, score in part.terms:
+            totals[name] = totals.get(name, 0.0) + lr * score
+    terms = tuple((name, totals[name])
+                  for name in names if name in totals)
+    return Attribution(model="boosting", predicted=predicted, bias=bias,
+                       features=tuple(names), values=tuple(vec.tolist()),
+                       terms=terms)
+
+
+# ----------------------------------------------------------------------
+# Per-term attribution (GA²M, isotonic)
+# ----------------------------------------------------------------------
+def attribute_gam(model: Any, x: Any,
+                  feature_names: Optional[Sequence[str]] = None
+                  ) -> Attribution:
+    """GA²M per-term attribution (the model is already additive).
+
+    Wraps ``explain_local``: every shape function's score is one term,
+    interaction terms get the pseudo-name ``"a x b"``.  Exact by
+    construction.
+    """
+    local = model.explain_local(x)
+    vec = _as_vector(x)
+    names = _names(feature_names if feature_names is not None
+                   else model.feature_names, int(model.n_features_))
+    terms = tuple((str(name), float(score))
+                  for name, _value, score in local.contributions)
+    return Attribution(model="gam", predicted=float(local.prediction),
+                       bias=float(local.intercept),
+                       features=tuple(names), values=tuple(vec.tolist()),
+                       terms=terms)
+
+
+def attribute_isotonic(model: Any, x: Any,
+                       feature_name: str = "x") -> Attribution:
+    """Single-term attribution of an isotonic (one-feature) regressor.
+
+    The bias is the weighted training mean of the fitted step function;
+    the lone term is the prediction's deviation from that mean.
+    """
+    vec = _as_vector(x)
+    if vec.shape[0] != 1:
+        raise ValueError("isotonic regression is a one-feature model")
+    predicted = float(np.asarray(model.predict(vec)).ravel()[0])
+    bias = float(model.mean_)
+    return Attribution(model="isotonic", predicted=predicted, bias=bias,
+                       features=(feature_name,), values=(float(vec[0]),),
+                       terms=((feature_name, predicted - bias),))
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def attribute_model(model: Any, x: Any,
+                    feature_names: Optional[Sequence[str]] = None,
+                    class_index: Optional[int] = None) -> Attribution:
+    """Attribute one prediction of any model in the family (duck-typed).
+
+    Dispatches on public fitted attributes: ``shapes_`` → GA²M,
+    ``init_`` + ``estimators_`` → boosting, ``estimators_`` → forest,
+    ``root_`` → single tree, ``mean_`` + ``x_`` → isotonic.
+    """
+    if hasattr(model, "shapes_"):
+        if class_index is not None:
+            raise ValueError("class_index is only valid for classifiers")
+        return attribute_gam(model, x, feature_names=feature_names)
+    if hasattr(model, "estimators_") and hasattr(model, "init_"):
+        if class_index is not None:
+            raise ValueError("class_index is only valid for classifiers")
+        return attribute_boosting(model, x, feature_names=feature_names)
+    if hasattr(model, "estimators_"):
+        return attribute_forest(model, x, feature_names=feature_names,
+                                class_index=class_index)
+    if hasattr(model, "root_"):
+        return attribute_tree(model, x, feature_names=feature_names,
+                              class_index=class_index)
+    if hasattr(model, "mean_") and hasattr(model, "x_"):
+        name = "x" if not feature_names else str(feature_names[0])
+        if class_index is not None:
+            raise ValueError("class_index is only valid for classifiers")
+        return attribute_isotonic(model, x, feature_name=name)
+    raise TypeError(f"do not know how to attribute {type(model).__name__}")

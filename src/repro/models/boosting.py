@@ -113,6 +113,12 @@ class GradientBoostingRegressor:
         return np.mean([t.feature_importances() for t in self.estimators_],
                        axis=0)
 
+    def attribute(self, x, feature_names: Optional[List[str]] = None):
+        """Telescoped path :class:`~repro.models.attrib.Attribution`."""
+        from repro.models.attrib import attribute_boosting
+
+        return attribute_boosting(self, x, feature_names=feature_names)
+
 
 def lightgbm_like(random_state: int = 0, **overrides) -> GradientBoostingRegressor:
     """A LightGBM-flavoured configuration (shallow, subsampled, fast)."""

@@ -80,6 +80,12 @@ class RandomForestRegressor(_BaseForest):
         preds = np.stack([t.predict(X) for t in self.estimators_])
         return preds.mean(axis=0)
 
+    def attribute(self, x, feature_names: Optional[List[str]] = None):
+        """Mean per-tree :class:`~repro.models.attrib.Attribution`."""
+        from repro.models.attrib import attribute_forest
+
+        return attribute_forest(self, x, feature_names=feature_names)
+
 
 class RandomForestClassifier(_BaseForest):
     """Majority-vote bagged classification trees."""
@@ -111,3 +117,15 @@ class RandomForestClassifier(_BaseForest):
 
     def predict(self, X) -> np.ndarray:
         return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+    def attribute(self, x, feature_names: Optional[List[str]] = None,
+                  class_index: Optional[int] = None):
+        """Mean per-tree :class:`~repro.models.attrib.Attribution`.
+
+        Attributes the expected class value by default, or
+        ``P(classes_[class_index])`` when ``class_index`` is given.
+        """
+        from repro.models.attrib import attribute_forest
+
+        return attribute_forest(self, x, feature_names=feature_names,
+                                class_index=class_index)

@@ -310,6 +310,12 @@ class GA2MRegressor:
         return LocalExplanation(intercept=self.intercept_,
                                 contributions=contributions)
 
+    def attribute(self, x):
+        """Per-term :class:`~repro.models.attrib.Attribution` (exact)."""
+        from repro.models.attrib import attribute_gam
+
+        return attribute_gam(self, x)
+
     def shape_function(self, feature: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(interior bin edges, per-bin scores)`` of one feature."""
         self._check_fitted()

@@ -67,6 +67,58 @@ def isotonic_fit(y, weights=None, increasing: bool = True) -> np.ndarray:
     return out
 
 
+class IsotonicRegressor:
+    """Monotone piecewise-constant regression of ``y`` on a scalar ``x``.
+
+    A thin estimator wrapper over :func:`isotonic_fit` so the isotonic
+    family plugs into the shared attribution machinery
+    (:mod:`repro.models.attrib`): ``fit`` sorts by ``x`` and pools, and
+    ``predict`` steps through the fitted knots (clamping outside the
+    training range).
+    """
+
+    def __init__(self, increasing: bool = True) -> None:
+        self.increasing = increasing
+        self.x_: Optional[np.ndarray] = None
+        self.y_: Optional[np.ndarray] = None
+        #: Weighted mean of the fitted values — the attribution bias.
+        self.mean_: float = 0.0
+
+    def fit(self, x, y, weights=None) -> "IsotonicRegressor":
+        xs = np.asarray(x, dtype=float).ravel()
+        ys = np.asarray(y, dtype=float).ravel()
+        if xs.shape != ys.shape:
+            raise ValueError("x and y must have the same length")
+        if xs.size == 0:
+            raise ValueError("cannot fit on empty data")
+        if weights is None:
+            w = np.ones_like(xs)
+        else:
+            w = np.asarray(weights, dtype=float).ravel()
+            if w.shape != xs.shape:
+                raise ValueError("weights must match x in length")
+        order = np.argsort(xs, kind="stable")
+        self.x_ = xs[order]
+        self.y_ = isotonic_fit(ys[order], weights=w[order],
+                               increasing=self.increasing)
+        self.mean_ = float(np.average(self.y_, weights=w[order]))
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self.x_ is None or self.y_ is None:
+            raise RuntimeError("model is not fitted")
+        xs = np.asarray(x, dtype=float).ravel()
+        idx = np.clip(np.searchsorted(self.x_, xs, side="right") - 1,
+                      0, len(self.x_) - 1)
+        return self.y_[idx]
+
+    def attribute(self, x, feature_name: str = "x"):
+        """Single-term :class:`~repro.models.attrib.Attribution`."""
+        from repro.models.attrib import attribute_isotonic
+
+        return attribute_isotonic(self, x, feature_name=feature_name)
+
+
 def is_monotonic(y, increasing: bool = True, atol: float = 1e-12) -> bool:
     """Check whether a sequence is monotone in the given direction."""
     values = np.asarray(y, dtype=float).ravel()

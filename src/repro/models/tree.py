@@ -326,6 +326,18 @@ class DecisionTreeClassifier(_BaseDecisionTree):
         probs = self.predict_proba(X)
         return self.classes_[np.argmax(probs, axis=1)]
 
+    def attribute(self, x, feature_names: Optional[Sequence[str]] = None,
+                  class_index: Optional[int] = None):
+        """Decision-path :class:`~repro.models.attrib.Attribution`.
+
+        Attributes the expected class value by default, or
+        ``P(classes_[class_index])`` when ``class_index`` is given.
+        """
+        from repro.models.attrib import attribute_tree
+
+        return attribute_tree(self, x, feature_names=feature_names,
+                              class_index=class_index)
+
     def _leaf_label(self, node: TreeNode, class_names) -> str:
         idx = int(np.argmax(node.value))
         label = (class_names[idx] if class_names is not None
@@ -361,6 +373,12 @@ class DecisionTreeRegressor(_BaseDecisionTree):
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=float))
         return np.array([self._leaf_for(x).value[0] for x in X])
+
+    def attribute(self, x, feature_names: Optional[Sequence[str]] = None):
+        """Decision-path :class:`~repro.models.attrib.Attribution`."""
+        from repro.models.attrib import attribute_tree
+
+        return attribute_tree(self, x, feature_names=feature_names)
 
     def _leaf_label(self, node: TreeNode, class_names) -> str:
         return f"value {node.value[0]:.3f}"

@@ -18,6 +18,9 @@ that makes the reproduction observable end to end:
   (``Simulator(series=...)``) with CSV/JSON export.
 * :mod:`repro.obs.bench` — the ``repro bench`` perf harness: seeded
   scenario matrix, ``BENCH_*.json`` files, regression diffing.
+* :mod:`repro.obs.report` — the ``repro report`` generator: one
+  self-contained HTML page (inline CSS/SVG, no external assets) plus a
+  machine-readable ``report.json`` twin per run.
 * :mod:`repro.obs.logutil` — ``repro.*`` logger configuration.
 
 Quickstart::
@@ -34,6 +37,7 @@ Quickstart::
 
 from repro.obs.audit import (
     BinderVerdict,
+    Counterfactual,
     DecisionAudit,
     PlacementDecision,
     RefitRecord,
@@ -56,6 +60,14 @@ from repro.obs.metrics import (
     Telemetry,
 )
 from repro.obs.prof import NULL_SPAN, SimProfiler, peak_rss_mb
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    build_report,
+    load_report,
+    render_html,
+    validate_report,
+    write_report,
+)
 from repro.obs.series import (
     SERIES_SCHEMA,
     SeriesCollector,
@@ -74,9 +86,16 @@ from repro.obs.tracer import (
 
 __all__ = [
     "BinderVerdict",
+    "Counterfactual",
     "DecisionAudit",
     "PlacementDecision",
     "RefitRecord",
+    "REPORT_SCHEMA",
+    "build_report",
+    "load_report",
+    "render_html",
+    "validate_report",
+    "write_report",
     "BENCH_SCHEMA",
     "BenchScenario",
     "diff_bench",

@@ -1,0 +1,35 @@
+"""Small file-sink helpers shared by the observability writers.
+
+Every JSONL/JSON/HTML sink in :mod:`repro.obs` goes through these two
+functions so that (a) ``repro report --out dir/sub/`` works without the
+caller pre-creating directories, and (b) a crash mid-write can never leave
+a truncated file at the final path — content lands in a ``.tmp`` sibling
+and is atomically renamed into place (`os.replace`) only once complete.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ensure_parent", "atomic_write_text", "tmp_path"]
+
+
+def ensure_parent(path: str) -> None:
+    """Create the parent directory of ``path`` if it does not exist."""
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+
+def tmp_path(path: str) -> str:
+    """The temporary sibling a sink streams into before the final rename."""
+    return path + ".tmp"
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename)."""
+    ensure_parent(path)
+    tmp = tmp_path(path)
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)

@@ -22,9 +22,12 @@ The contract that keeps the simulator honest:
 from __future__ import annotations
 
 import json
+import os
 from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from repro.obs.ioutil import ensure_parent, tmp_path
 
 __all__ = [
     "TraceEvent",
@@ -141,8 +144,12 @@ class RingBufferTracer(Tracer):
         (the JSONL sink, when set, still receives every event).
     sink:
         A file path or open text handle; every event is appended as one
-        JSON line.  Paths are opened lazily on first emission and closed
-        by :meth:`close` (the tracer is a context manager).
+        JSON line.  Paths are opened lazily on first emission — parent
+        directories are created, events stream into a ``.tmp`` sibling,
+        and :meth:`close` atomically renames it to the final path (the
+        tracer is a context manager), so a crash mid-run never leaves a
+        truncated log masquerading as complete.  External handles are
+        flushed but neither closed nor renamed.
     """
 
     enabled = True
@@ -176,7 +183,8 @@ class RingBufferTracer(Tracer):
         self._buffer.append(event)
         self.n_emitted += 1
         if self._sink_path is not None and self._sink is None:
-            self._sink = open(self._sink_path, "w")
+            ensure_parent(self._sink_path)
+            self._sink = open(tmp_path(self._sink_path), "w")
             self._owns_sink = True
         if self._sink is not None:
             self._sink.write(event.to_json() + "\n")
@@ -186,6 +194,8 @@ class RingBufferTracer(Tracer):
             self._sink.flush()
             if self._owns_sink:
                 self._sink.close()
+                if self._sink_path is not None:
+                    os.replace(tmp_path(self._sink_path), self._sink_path)
             self._sink = None
 
     # ------------------------------------------------------------------

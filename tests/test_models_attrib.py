@@ -1,0 +1,233 @@
+"""Attribution correctness: contributions must sum to the prediction.
+
+The whole value of :mod:`repro.models.attrib` rests on one invariant:
+``bias + sum(contributions) == predicted`` within 1e-9, and ``predicted``
+matches the model's own ``predict`` output.  These tests property-check
+that over seeded random inputs for every model family.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Attribution,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GA2MRegressor,
+    GradientBoostingRegressor,
+    IsotonicRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    attribute_model,
+)
+
+TOL = 1e-9
+N_PROBES = 25
+
+
+def _regression_data(rng, n=200, d=5):
+    X = rng.normal(size=(n, d))
+    y = (2.0 * X[:, 0] - 1.5 * X[:, 1] ** 2 + np.sin(X[:, 2])
+         + rng.normal(scale=0.1, size=n))
+    if d >= 5:
+        y = y + 0.5 * X[:, 3] * X[:, 4]
+    return X, y
+
+
+def _classification_data(rng, n=200, d=4):
+    X = rng.normal(size=(n, d))
+    score = X[:, 0] + 0.5 * X[:, 1] - X[:, 2]
+    y = np.digitize(score, [-0.5, 0.5])  # classes 0/1/2
+    return X, y
+
+
+def _probes(rng, d, k=N_PROBES):
+    return rng.normal(scale=1.5, size=(k, d))
+
+
+def _check_exact(attribution, expected):
+    assert isinstance(attribution, Attribution)
+    assert attribution.check(TOL), \
+        f"residual {attribution.residual()} exceeds {TOL}"
+    assert attribution.predicted == pytest.approx(expected, abs=1e-9)
+
+
+class TestTreeAttribution:
+    def test_regressor_sums_to_prediction(self):
+        rng = np.random.default_rng(11)
+        X, y = _regression_data(rng)
+        model = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        for x in _probes(rng, X.shape[1]):
+            attribution = model.attribute(x)
+            _check_exact(attribution, float(model.predict([x])[0]))
+
+    def test_classifier_expected_value(self):
+        rng = np.random.default_rng(12)
+        X, y = _classification_data(rng)
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for x in _probes(rng, X.shape[1]):
+            probs = model.predict_proba([x])[0]
+            expected = float(np.dot(model.classes_, probs))
+            _check_exact(model.attribute(x), expected)
+
+    def test_classifier_class_probability(self):
+        rng = np.random.default_rng(13)
+        X, y = _classification_data(rng)
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=10):
+            for c in range(len(model.classes_)):
+                probs = model.predict_proba([x])[0]
+                _check_exact(model.attribute(x, class_index=c),
+                             float(probs[c]))
+
+    def test_feature_names_flow_through(self):
+        rng = np.random.default_rng(14)
+        X, y = _regression_data(rng, d=3)
+        model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        names = ["alpha", "beta", "gamma"]
+        attribution = model.attribute(X[0], feature_names=names)
+        assert attribution.features == ("alpha", "beta", "gamma")
+        assert all(name in names for name, _ in attribution.terms)
+
+    def test_class_index_out_of_range(self):
+        rng = np.random.default_rng(15)
+        X, y = _classification_data(rng)
+        model = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        with pytest.raises(ValueError):
+            model.attribute(X[0], class_index=99)
+
+
+class TestForestAttribution:
+    def test_regressor_sums_to_prediction(self):
+        rng = np.random.default_rng(21)
+        X, y = _regression_data(rng)
+        model = RandomForestRegressor(n_estimators=12, max_depth=5,
+                                      random_state=3).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=10):
+            _check_exact(model.attribute(x), float(model.predict([x])[0]))
+
+    def test_classifier_class_probability(self):
+        rng = np.random.default_rng(22)
+        X, y = _classification_data(rng)
+        model = RandomForestClassifier(n_estimators=10, max_depth=4,
+                                       random_state=5).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=8):
+            probs = model.predict_proba([x])[0]
+            for c in range(len(model.classes_)):
+                _check_exact(model.attribute(x, class_index=c),
+                             float(probs[c]))
+
+    def test_classifier_expected_value(self):
+        rng = np.random.default_rng(23)
+        X, y = _classification_data(rng)
+        model = RandomForestClassifier(n_estimators=10, max_depth=4,
+                                       random_state=7).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=10):
+            probs = model.predict_proba([x])[0]
+            expected = float(np.dot(model.classes_, probs))
+            _check_exact(model.attribute(x), expected)
+
+
+class TestBoostingAttribution:
+    @pytest.mark.parametrize("reg_lambda", [0.0, 1.0])
+    def test_sums_to_prediction(self, reg_lambda):
+        rng = np.random.default_rng(31)
+        X, y = _regression_data(rng)
+        model = GradientBoostingRegressor(
+            n_estimators=25, max_depth=3, reg_lambda=reg_lambda,
+            random_state=2).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=10):
+            _check_exact(model.attribute(x), float(model.predict([x])[0]))
+
+
+class TestGAMAttribution:
+    @pytest.mark.parametrize("n_interactions", [0, 2])
+    def test_sums_to_prediction(self, n_interactions):
+        rng = np.random.default_rng(41)
+        X, y = _regression_data(rng)
+        model = GA2MRegressor(n_rounds=30, n_interactions=n_interactions,
+                              feature_names=list("abcde")).fit(X, y)
+        for x in _probes(rng, X.shape[1], k=10):
+            attribution = model.attribute(x)
+            _check_exact(attribution, float(model.predict([x])[0]))
+            assert attribution.features == ("a", "b", "c", "d", "e")
+        if n_interactions:
+            names = [name for name, _ in model.attribute(X[0]).terms]
+            assert any(" x " in name for name in names)
+
+
+class TestIsotonicAttribution:
+    def test_sums_to_prediction(self):
+        rng = np.random.default_rng(51)
+        xs = rng.uniform(0, 10, size=80)
+        ys = 2.0 * xs + rng.normal(scale=1.0, size=80)
+        model = IsotonicRegressor().fit(xs, ys)
+        for x in rng.uniform(-2, 12, size=N_PROBES):
+            attribution = model.attribute([x], feature_name="load")
+            _check_exact(attribution, float(model.predict([x])[0]))
+            assert attribution.features == ("load",)
+
+    def test_prediction_is_monotone_and_clamped(self):
+        model = IsotonicRegressor().fit([1.0, 2.0, 3.0], [1.0, 3.0, 2.0])
+        lo, hi = model.predict([-100.0])[0], model.predict([100.0])[0]
+        assert lo <= hi
+        preds = model.predict([0.0, 1.5, 2.5, 9.0])
+        assert np.all(np.diff(preds) >= -1e-12)
+
+
+class TestDispatcherAndRecord:
+    def test_dispatcher_covers_every_family(self):
+        rng = np.random.default_rng(61)
+        X, y = _regression_data(rng, n=120)
+        Xc, yc = _classification_data(rng, n=120)
+        cases = [
+            (DecisionTreeRegressor(max_depth=4).fit(X, y), X[0], "tree"),
+            (DecisionTreeClassifier(max_depth=4).fit(Xc, yc), Xc[0], "tree"),
+            (RandomForestRegressor(n_estimators=5).fit(X, y), X[0],
+             "forest"),
+            (GradientBoostingRegressor(n_estimators=10).fit(X, y), X[0],
+             "boosting"),
+            (GA2MRegressor(n_rounds=10).fit(X, y), X[0], "gam"),
+            (IsotonicRegressor().fit(X[:, 0], y), X[:1, 0], "isotonic"),
+        ]
+        for model, x, tag in cases:
+            attribution = attribute_model(model, x)
+            assert attribution.model == tag
+            assert attribution.check(TOL)
+
+    def test_dispatcher_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            attribute_model(object(), [1.0])
+
+    def test_round_trip_and_render(self):
+        attribution = Attribution(
+            model="gam", predicted=0.83, bias=0.64,
+            features=("gpu_util", "hour"), values=(0.7, float("nan")),
+            terms=(("gpu_util", 0.31), ("hour", -0.12)), note="probe")
+        data = attribution.to_dict()
+        assert data["values"][1] is None  # NaN must serialize as null
+        clone = Attribution.from_dict(
+            {**data, "values": [0.7, float("nan")]})
+        assert clone.terms == attribution.terms
+        assert clone.note == "probe"
+        text = attribution.render()
+        assert "+0.31 gpu_util" in text
+        assert "-0.12 hour" in text
+        assert "bias 0.64" in text
+
+    def test_top_orders_by_magnitude(self):
+        attribution = Attribution(
+            model="tree", predicted=1.0, bias=0.5,
+            features=("a", "b", "c"), values=(1.0, 2.0, 3.0),
+            terms=(("a", 0.1), ("b", -0.3), ("c", 0.2)))
+        assert [name for name, _ in attribution.top()] == ["b", "c", "a"]
+        assert len(attribution.top(2)) == 2
+
+    def test_value_of_unknown_feature(self):
+        attribution = Attribution(model="tree", predicted=1.0, bias=1.0,
+                                  features=("a",), values=(2.0,))
+        assert attribution.value_of("a") == 2.0
+        with pytest.raises(KeyError):
+            attribution.value_of("zz")

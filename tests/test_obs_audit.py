@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.core import LucidConfig, LucidScheduler, UpdateEngine
 from repro.obs import (
     BinderVerdict,
@@ -146,3 +148,119 @@ class TestRefitAudit:
         assert len(audit.refits) == 1
         assert audit.refits[0].new_records == 2
         assert audit.refits[0].model == "workload_estimate"
+
+    class _QualityEstimator(_StubEstimator):
+        def fit_quality(self):
+            return 0.75, 42
+
+    def test_refit_quality_recorded(self):
+        audit = DecisionAudit()
+        estimator = self._QualityEstimator()
+        engine = UpdateEngine(estimator, interval=100.0, min_new_records=1)
+        engine.audit = audit
+        engine.collect(self._Record(), now=0.0)
+        assert engine.maybe_refit(150.0)
+        record = audit.refits[0]
+        assert record.r2 == 0.75
+        assert record.samples == 42
+        assert record.wall_seconds is None  # unprofiled run
+        assert engine.last_quality == (0.75, 42, None)
+        exported = record.to_dict()
+        assert exported["r2"] == 0.75 and exported["samples"] == 42
+        assert "wall_seconds" not in exported
+
+    def test_refit_wall_time_via_profiler_span(self):
+        from repro.obs import SimProfiler
+
+        engine = UpdateEngine(self._StubEstimator(), interval=100.0,
+                              min_new_records=1)
+        engine.profiler = SimProfiler()
+        engine.collect(self._Record(), now=0.0)
+        assert engine.maybe_refit(150.0)
+        _, _, wall = engine.last_quality
+        assert wall is not None and wall >= 0.0
+        assert engine.profiler.span_counts.get("lucid.refit") == 1
+
+
+class TestAtomicJsonlExport:
+    def _audit_with_one_decision(self):
+        audit = DecisionAudit()
+        audit.record(PlacementDecision(
+            time=1.0, job_id=7, mode="exclusive", gpu_ids=(0,),
+            node_ids=(0,), priority=10.0, estimated_duration=100.0,
+            sharing_mode="off"))
+        return audit
+
+    def test_creates_parent_directories(self, tmp_path):
+        audit = self._audit_with_one_decision()
+        path = tmp_path / "deeply" / "nested" / "audit.jsonl"
+        assert audit.to_jsonl(str(path)) == 1
+        assert path.exists()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        audit = self._audit_with_one_decision()
+        path = tmp_path / "audit.jsonl"
+        audit.to_jsonl(str(path))
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["audit.jsonl"]
+
+    def test_round_trip_preserves_attributions(self, tmp_path):
+        audit = DecisionAudit(attribution=True)
+        result, scheduler, _ = _lucid_run(audit=audit,
+                                          enable_profiler=False)
+        assert any(d.attribution is not None for d in audit.records)
+        path = str(tmp_path / "audit.jsonl")
+        audit.to_jsonl(path)
+        reloaded = DecisionAudit.from_jsonl(path)
+        assert len(reloaded) == len(audit)
+        assert len(reloaded.refits) == len(audit.refits)
+        for before, after in zip(audit.records, reloaded.records):
+            assert after.to_dict() == before.to_dict()
+            if before.attribution is not None:
+                assert after.attribution is not None
+                assert after.attribution.terms == before.attribution.terms
+
+
+class TestCounterfactual:
+    def _audited_packing_model(self):
+        from repro.core import PackingAnalyzeModel
+        from repro.workloads import InterferenceModel, ResourceProfile
+
+        model = PackingAnalyzeModel().fit(InterferenceModel())
+        audit = DecisionAudit(attribution=True)
+        audit.bind_vector_attributor("sharing", model.attribute_vector)
+        profile = ResourceProfile(95.0, 60.0, 9000.0, False)
+        verdict = BinderVerdict(job_id=5, mate_id=None, mode="DEFAULT",
+                                gss_capacity=2, job_score=2,
+                                attribution=model.attribute(profile))
+        audit.record(PlacementDecision(
+            time=1.0, job_id=5, mode="exclusive", gpu_ids=(0,),
+            node_ids=(0,), priority=10.0, estimated_duration=100.0,
+            sharing_mode="eager", binder=verdict))
+        return audit, model
+
+    def test_sharing_counterfactual_reruns_frozen_model(self):
+        audit, model = self._audited_packing_model()
+        probe = audit.counterfactual(5, which="sharing", gpu_util=5.0)
+        assert probe.which == "sharing"
+        assert probe.overrides == {"gpu_util": 5.0}
+        # A near-idle GPU should score no higher than the busy baseline.
+        assert probe.probe.predicted <= probe.baseline.predicted
+        assert probe.delta == probe.probe.predicted - \
+            probe.baseline.predicted
+        assert "with gpu_util=5" in probe.render()
+
+    def test_unknown_kind_raises_keyerror(self):
+        audit, _ = self._audited_packing_model()
+        with pytest.raises(KeyError, match="no frozen model"):
+            audit.counterfactual(5, which="weather")
+
+    def test_unknown_feature_raises_valueerror(self):
+        audit, _ = self._audited_packing_model()
+        with pytest.raises(ValueError, match="unknown feature"):
+            audit.counterfactual(5, which="sharing", flux=1.0)
+
+    def test_job_without_attribution_raises_keyerror(self):
+        audit, _ = self._audited_packing_model()
+        with pytest.raises(KeyError, match="no recorded"):
+            audit.counterfactual(999, which="sharing")

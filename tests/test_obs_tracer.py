@@ -72,6 +72,25 @@ class TestRingBufferTracer:
         assert events[0] == TraceEvent(0.5, "submit", 1, {"vc": "vc1"})
         assert events[1].data["gpus"] == [3]
 
+    def test_sink_creates_parent_dirs_and_renames_atomically(self,
+                                                             tmp_path):
+        path = tmp_path / "deep" / "nested" / "events.jsonl"
+        tracer = RingBufferTracer(sink=str(path))
+        tracer.emit(0.5, "submit", 1)
+        # Mid-run the data lives in the temp file, not the final path.
+        assert not path.exists()
+        assert path.with_name(path.name + ".tmp").exists()
+        tracer.close()
+        assert path.exists()
+        assert not path.with_name(path.name + ".tmp").exists()
+        assert len(read_jsonl(str(path))) == 1
+
+    def test_unused_sink_writes_nothing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = RingBufferTracer(sink=str(path))
+        tracer.close()  # no emits: neither file should appear
+        assert list(tmp_path.iterdir()) == []
+
 
 class TestEngineTracing:
     def test_fifo_round_trip_and_ordering(self, tmp_path):
