@@ -32,6 +32,14 @@ RPR007    No bare or overbroad ``except`` (``Exception``/
 RPR008    Public sim entry points (``simulate*``/``generate*``/
           ``sample*``/...) must thread a ``seed``/``rng``/spec
           parameter so callers control determinism.
+RPR009    No raw ``open(path, "w")`` writes to state/sink paths in the
+          durability-sensitive packages (``serve``, ``obs``): a crash
+          mid-write leaves a truncated file at the final path.  Writes
+          must go through :mod:`repro.obs.ioutil`
+          (``atomic_write_text`` or the stream-to-``tmp_path``-then-
+          rename pattern).  Streaming into ``open(tmp_path(p), "w")``
+          is recognized and allowed; ``obs/ioutil.py`` itself is
+          allowlisted (:data:`RPR009_ALLOWLIST`).
 ========  ============================================================
 
 Suppression: append ``# repro: noqa`` (all rules) or
@@ -87,6 +95,10 @@ RULES: Dict[str, Tuple[str, str]] = {
     "RPR008": ("public sim entry point without a seed/rng parameter",
                "add a seed/rng parameter (or take a *Spec object that "
                "carries one) so callers control determinism"),
+    "RPR009": ("raw in-place write to a state/sink path",
+               "write via repro.obs.ioutil.atomic_write_text (or stream "
+               "into tmp_path(p) and os.replace); a crash mid-write must "
+               "never leave a truncated file at the final path"),
 }
 
 #: Packages whose modules are "simulation paths" (RPR001/RPR002/RPR004).
@@ -98,6 +110,8 @@ DECISION_PACKAGES = frozenset(
 #: Packages whose public entry points must thread a seed (RPR008).
 ENTRYPOINT_PACKAGES = frozenset(
     {"sim", "core", "schedulers", "faults", "workloads", "traces"})
+#: Packages holding durable state / observability sinks (RPR009).
+STATE_SINK_PACKAGES = frozenset({"serve", "obs"})
 
 #: np.random attributes that are legitimate Generator plumbing.
 _NP_RANDOM_ALLOWED = frozenset({
@@ -143,6 +157,13 @@ RPR002_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {
     "obs/prof.py": None,
     # Scheduler-pass latency telemetry (tracer metrics + SimProfiler).
     "sim/engine.py": frozenset({"_invoke_scheduler"}),
+}
+
+#: RPR009 allowlist (same shape as :data:`RPR002_ALLOWLIST`): modules
+#: allowed to issue raw in-place writes.  Only the atomic-write helper
+#: itself belongs here — it owns the tmp-file + rename dance.
+RPR009_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {
+    "obs/ioutil.py": None,
 }
 
 _NOQA_RE = re.compile(
@@ -195,7 +216,7 @@ class _Scope:
 
 
 class _DeterminismVisitor(ast.NodeVisitor):
-    """Single-file pass implementing rules RPR001..RPR005, 7, 8."""
+    """Single-file pass implementing rules RPR001..RPR005, 7, 8, 9."""
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -204,6 +225,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.in_sim = bool(packages & SIM_PACKAGES)
         self.in_decision = bool(packages & DECISION_PACKAGES)
         self.in_entrypoint = bool(packages & ENTRYPOINT_PACKAGES)
+        self.in_state_sink = bool(packages & STATE_SINK_PACKAGES)
         # Import aliases discovered while walking.
         self.random_aliases: Set[str] = set()       # stdlib random module
         self.random_funcs: Set[str] = set()         # from random import X
@@ -213,6 +235,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.time_funcs: Set[str] = set()           # from time import X
         self.datetime_names: Set[str] = set()       # datetime/date classes
         self.datetime_modules: Set[str] = set()     # datetime module
+        # Names bound to tmp_path(...) results (RPR009 exemption).
+        self.tmp_path_vars: Set[str] = set()
         self._scopes: List[_Scope] = [_Scope()]
         self._func_depth = 0
         self._class_depth = 0
@@ -229,16 +253,22 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def _is_set_var(self, name: str) -> bool:
         return any(name in scope.set_vars for scope in reversed(self._scopes))
 
-    def _rpr002_exempt(self) -> bool:
-        """Is the current location on the instrumentation allowlist?"""
+    def _allowlisted(
+            self,
+            allowlist: Dict[str, Optional[FrozenSet[str]]]) -> bool:
+        """Is the current location on a per-module/function allowlist?"""
         path = os.path.normpath(self.path).replace(os.sep, "/")
-        for suffix, functions in RPR002_ALLOWLIST.items():
+        for suffix, functions in allowlist.items():
             if path == suffix or path.endswith("/" + suffix):
                 if functions is None:
                     return True
                 return bool(self._func_names) and \
                     self._func_names[-1] in functions
         return False
+
+    def _rpr002_exempt(self) -> bool:
+        """Is the current location on the instrumentation allowlist?"""
+        return self._allowlisted(RPR002_ALLOWLIST)
 
     # -- imports -------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -276,7 +306,48 @@ class _DeterminismVisitor(ast.NodeVisitor):
         if self.in_sim:
             self._check_rng_call(node)
             self._check_clock_call(node)
+        if self.in_state_sink:
+            self._check_raw_write(node)
         self.generic_visit(node)
+
+    # -- RPR009: raw in-place writes ----------------------------------
+    @staticmethod
+    def _is_tmp_path_call(node: Optional[ast.expr]) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        inner = node.func
+        return (isinstance(inner, ast.Name) and inner.id == "tmp_path") \
+            or (isinstance(inner, ast.Attribute)
+                and inner.attr == "tmp_path")
+
+    def _check_raw_write(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "open"):
+            return
+        if self._allowlisted(RPR009_ALLOWLIST):
+            return
+        mode: Optional[str] = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+                and isinstance(node.args[1].value, str):
+            mode = node.args[1].value
+        for keyword in node.keywords:
+            if keyword.arg == "mode" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, str):
+                mode = keyword.value.value
+        if mode is None or not any(flag in mode for flag in "wx"):
+            return  # read or append mode: no truncation hazard
+        # open(tmp_path(p), "w") or open(tmp, "w") where tmp came from
+        # tmp_path(...): the sanctioned stream-then-rename pattern — the
+        # final path is never exposed mid-write.
+        target = node.args[0] if node.args else None
+        if self._is_tmp_path_call(target):
+            return
+        if isinstance(target, ast.Name) and target.id in self.tmp_path_vars:
+            return
+        self._report("RPR009", node,
+                     f"open(..., {mode!r}) truncates the destination in "
+                     "place; a crash mid-write corrupts it")
 
     def _check_rng_call(self, node: ast.Call) -> None:
         func = node.func
@@ -400,6 +471,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
             isinstance(node.value, ast.Call)
             and isinstance(node.value.func, ast.Name)
             and node.value.func.id in ("set", "frozenset"))
+        is_tmp = self._is_tmp_path_call(node.value)
         for target in node.targets:
             if isinstance(target, ast.Name):
                 scope = self._scopes[-1]
@@ -407,6 +479,10 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     scope.set_vars.add(target.id)
                 else:
                     scope.set_vars.discard(target.id)
+                if is_tmp:
+                    self.tmp_path_vars.add(target.id)
+                else:
+                    self.tmp_path_vars.discard(target.id)
         self.generic_visit(node)
 
     # -- RPR004: float equality on simulated time ----------------------

@@ -33,6 +33,14 @@ explain
     Print the recorded placement explanation of one job — either from a
     fresh run or from a previously exported ``audit.jsonl``; supports
     ``--what-if feature=value`` counterfactual probes.
+serve
+    Run the crash-recoverable scheduler service (:mod:`repro.serve`):
+    a daemon with a file inbox + localhost HTTP frontend for runtime
+    job submission, sqlite snapshots and a checksummed WAL.
+serve-chaos
+    The SIGKILL crash harness: run an uncrashed control, then seeded
+    kill points; assert every recovery is bit-identical to the control
+    (per-tick state digests and final metrics).
 
 The global ``--log-level`` flag (before the command) controls the
 ``repro.*`` logger tree, e.g. ``repro --log-level info simulate``.
@@ -147,6 +155,70 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--series-interval", type=float, default=300.0,
                         help="time-series sampling interval in simulated "
                              "seconds (default: 300)")
+
+    serve = sub.add_parser(
+        "serve", help="run the crash-recoverable scheduler service")
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="durable state directory (store, WAL, inbox)")
+    serve.add_argument("--trace", default=None,
+                       help="trace preset sizing the cluster/history "
+                            "(default: venus for a new store; omit every "
+                            "config flag to restart on the stored config)")
+    serve.add_argument("--scheduler", default=None,
+                       choices=SCHEDULER_CHOICES)
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="trace-spec job-count override")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="trace-spec seed override")
+    serve.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault-injection spec armed at genesis "
+                            "(the chaos driver)")
+    serve.add_argument("--batch", type=int, default=None,
+                       help="admission batch size per tick (default: 8)")
+    serve.add_argument("--events-per-tick", type=int, default=None,
+                       help="max event batches advanced per tick "
+                            "(default: 64)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       metavar="PORT",
+                       help="enable the localhost HTTP frontend "
+                            "(0 = ephemeral port; default: disabled)")
+    serve.add_argument("--poll-interval", type=float, default=0.05,
+                       help="idle inbox poll interval in wall seconds")
+    serve.add_argument("--snapshot-every", type=int, default=25,
+                       help="snapshot + WAL rotation period in ticks")
+    serve.add_argument("--inbox-capacity", type=int, default=64,
+                       help="pending-spec bound before 429 backpressure")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on WAL appends (faster; still "
+                            "safe against SIGKILL, not power loss)")
+    serve.add_argument("--exit-when-idle", action="store_true",
+                       help="drain and exit once admitted work "
+                            "completes (batch/CI mode)")
+
+    chaos = sub.add_parser(
+        "serve-chaos", help="SIGKILL crash harness: prove bit-identical "
+                            "recovery against an uncrashed control")
+    chaos.add_argument("--workdir", required=True, metavar="DIR",
+                       help="scratch directory for control + trial "
+                            "state dirs")
+    chaos.add_argument("--trace", default="venus")
+    chaos.add_argument("--scheduler", default="lucid",
+                       choices=SCHEDULER_CHOICES)
+    chaos.add_argument("--jobs", type=int, default=120,
+                       help="trace job count (default: 120)")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="trace seed (default: 7)")
+    chaos.add_argument("--faults", metavar="SPEC", default=None,
+                       help="fault spec forwarded to every run")
+    chaos.add_argument("--points", type=int, default=20,
+                       help="number of seeded SIGKILL points "
+                            "(default: 20)")
+    chaos.add_argument("--chaos-seed", type=int, default=1,
+                       help="seed of the kill-point RNG (default: 1)")
+    chaos.add_argument("--batch", type=int, default=8)
+    chaos.add_argument("--events-per-tick", type=int, default=64)
+    chaos.add_argument("--timeout", type=float, default=600.0,
+                       help="per-run wall-clock timeout in seconds")
 
     explain = sub.add_parser(
         "explain", help="explain one job's recorded placement decision")
@@ -305,12 +377,14 @@ def _print_fault_summary(result: SimulationResult) -> None:
     stats = result.faults
     if stats is None:
         return
+    censored = (f" ({stats.censored_repairs} repair(s) still in flight)"
+                if stats.censored_repairs else "")
     print(f"faults: {stats.node_failures} node failures, "
           f"{stats.job_crashes} job crashes, {stats.restarts} restarts, "
           f"{stats.jobs_failed} permanent failures | "
           f"goodput {stats.goodput:.1%}, "
           f"lost {stats.lost_gpu_hours:.1f} GPU-h, "
-          f"MTTR {stats.mttr / 60.0:.1f} min")
+          f"MTTR {stats.mttr / 60.0:.1f} min{censored}")
 
 
 def cmd_simulate(args) -> int:
@@ -701,6 +775,71 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, ServeDaemon
+    from repro.serve.config import ConfigMismatchError
+    from repro.serve.recovery import RecoveryError
+
+    # With no config flag at all this is a restart (or a default-config
+    # genesis): pass None and let the daemon use the stored config, so
+    # `repro serve --state-dir DIR` alone always reboots an existing
+    # store instead of tripping the config-compatibility check.
+    requested = (args.trace, args.scheduler, args.jobs, args.seed,
+                 args.faults, args.batch, args.events_per_tick)
+    if all(value is None for value in requested):
+        config = None
+    else:
+        config = ServeConfig(trace=(args.trace or "venus").lower(),
+                             scheduler=args.scheduler or "lucid",
+                             jobs=args.jobs,
+                             seed=args.seed, faults=args.faults,
+                             batch=8 if args.batch is None else args.batch,
+                             events_per_tick=(64 if args.events_per_tick
+                                              is None
+                                              else args.events_per_tick))
+    daemon = ServeDaemon(args.state_dir, config,
+                         poll_interval=args.poll_interval,
+                         snapshot_every=args.snapshot_every,
+                         http_port=args.http_port,
+                         inbox_capacity=args.inbox_capacity,
+                         durable=not args.no_fsync,
+                         exit_when_idle=args.exit_when_idle)
+    try:
+        report = daemon.start()
+    except ConfigMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RecoveryError as exc:
+        print(f"error: recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    if daemon.http is not None:
+        host, port = daemon.http.address
+        print(f"http frontend on http://{host}:{port} "
+              "(POST /submit, GET /status /metrics /healthz)")
+    daemon.install_signal_handlers()
+    ticks = daemon.run_forever()
+    print(f"drained cleanly after {ticks} tick(s) this boot "
+          f"(service tick {daemon.core.tick})")
+    return 0
+
+
+def cmd_serve_chaos(args) -> int:
+    from repro.serve import ServeConfig
+    from repro.serve.chaos import chaos_run
+
+    config = ServeConfig(trace=args.trace.lower(),
+                         scheduler=args.scheduler, jobs=args.jobs,
+                         seed=args.seed, faults=args.faults,
+                         batch=args.batch,
+                         events_per_tick=args.events_per_tick)
+    result = chaos_run(args.workdir, config, points=args.points,
+                       chaos_seed=args.chaos_seed,
+                       timeout=args.timeout, progress=print)
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
 def cmd_lint(args) -> int:
     from repro.checks import format_json, format_text, lint_paths
 
@@ -725,6 +864,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": cmd_bench,
         "report": cmd_report,
         "explain": cmd_explain,
+        "serve": cmd_serve,
+        "serve-chaos": cmd_serve_chaos,
     }
     # User-input errors exit with code 2 and a one-line message instead of
     # a traceback: missing files, unparsable traces, bad --faults specs.

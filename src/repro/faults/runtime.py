@@ -266,6 +266,13 @@ class FaultRuntime:
         progress unit): ``goodput`` is the fraction of executed work that
         ended up in finished jobs — rollback losses and the progress of
         permanently failed jobs are the waste.
+
+        MTTR averages *completed* repairs only.  Nodes still down when
+        the simulation ends are censored: their truncated downtimes
+        would drag the mean below the true repair time, so they are
+        excluded from ``mttr`` and surfaced as ``censored_repairs``
+        (count) and ``censored_repair_hours`` (downtime accumulated so
+        far, a lower bound on the eventual repair).
         """
         useful = sum(r.duration * r.gpu_num
                      for r in self._engine.records if not r.failed)
@@ -273,6 +280,9 @@ class FaultRuntime:
         goodput = useful / total if total > 0 else 1.0
         mttr = (self.repair_seconds / self.node_recoveries
                 if self.node_recoveries else 0.0)
+        now = self._engine.now
+        censored_seconds = sum(now - down
+                               for down in sorted(self._down_since.values()))
         return FaultStats(
             node_failures=self.node_failures,
             node_recoveries=self.node_recoveries,
@@ -283,6 +293,8 @@ class FaultRuntime:
             lost_gpu_hours=self.lost_gpu_seconds / 3600.0,
             goodput=goodput,
             mttr=mttr,
+            censored_repairs=len(self._down_since),
+            censored_repair_hours=censored_seconds / 3600.0,
         )
 
     def export_metrics(self, registry, stats: FaultStats) -> None:
@@ -290,3 +302,4 @@ class FaultRuntime:
         registry.gauge("lost_gpu_hours").set(stats.lost_gpu_hours)
         registry.gauge("goodput").set(stats.goodput)
         registry.gauge("mttr_seconds").set(stats.mttr)
+        registry.gauge("censored_repairs").set(float(stats.censored_repairs))

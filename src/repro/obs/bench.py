@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.ioutil import atomic_write_text
 from repro.obs.prof import SimProfiler
 
 __all__ = [
@@ -191,9 +192,8 @@ def validate_bench(document: Dict[str, Any]) -> None:
 
 def write_bench(document: Dict[str, Any], path: str) -> None:
     validate_bench(document)
-    with open(path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n")
 
 
 def load_bench(path: str) -> Dict[str, Any]:

@@ -1,17 +1,30 @@
 """Small file-sink helpers shared by the observability writers.
 
-Every JSONL/JSON/HTML sink in :mod:`repro.obs` goes through these two
-functions so that (a) ``repro report --out dir/sub/`` works without the
-caller pre-creating directories, and (b) a crash mid-write can never leave
-a truncated file at the final path — content lands in a ``.tmp`` sibling
-and is atomically renamed into place (`os.replace`) only once complete.
+Every JSONL/JSON/HTML sink in :mod:`repro.obs` (and the durable state
+files of :mod:`repro.serve`) goes through these functions so that (a)
+``repro report --out dir/sub/`` works without the caller pre-creating
+directories, and (b) a crash mid-write can never leave a truncated file
+at the final path — content lands in a ``.tmp`` sibling and is atomically
+renamed into place (`os.replace`) only once complete.
+
+Atomic rename protects against *process* crashes; it does not, on its
+own, protect against power loss (the rename may be journaled before the
+data blocks reach the platter).  Callers holding recovery-critical state
+— the serve subsystem's WAL and result files — pass ``durable=True``,
+which additionally ``fsync``\\ s the temp file before the rename and the
+parent directory after it.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["ensure_parent", "atomic_write_text", "tmp_path"]
+__all__ = [
+    "ensure_parent",
+    "atomic_write_text",
+    "fsync_dir",
+    "tmp_path",
+]
 
 
 def ensure_parent(path: str) -> None:
@@ -26,10 +39,36 @@ def tmp_path(path: str) -> str:
     return path + ".tmp"
 
 
-def atomic_write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (tmp file + rename)."""
+def fsync_dir(path: str) -> None:
+    """``fsync`` the directory containing ``path``.
+
+    After ``os.replace``, the new directory entry lives in the parent
+    directory's data; syncing it makes the rename itself durable across
+    power loss, completing the write-ahead guarantee.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    fd = os.open(parent, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, durable: bool = False) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    With ``durable=True`` the temp file is ``fsync``\\ ed before the
+    rename and the parent directory after it, so the completed write
+    survives power loss — not just process death.  Off by default: most
+    sinks (reports, timelines) prefer speed over power-loss durability.
+    """
     ensure_parent(path)
     tmp = tmp_path(path)
     with open(tmp, "w") as handle:
         handle.write(text)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
     os.replace(tmp, path)
+    if durable:
+        fsync_dir(path)

@@ -27,9 +27,12 @@ single identity check per event batch.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.obs.ioutil import atomic_write_text
 
 from repro.workloads.job import JobStatus
 
@@ -234,14 +237,14 @@ class SeriesCollector:
         return core + vcs
 
     def to_csv(self, path: str) -> int:
-        """Write the series as CSV; returns the number of rows."""
+        """Write the series as CSV (atomically); returns the row count."""
         columns = self.columns()
-        with open(path, "w", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=columns,
-                                    restval=0)
-            writer.writeheader()
-            for row in self.rows():
-                writer.writerow(row)
+        buffer = io.StringIO(newline="")
+        writer = csv.DictWriter(buffer, fieldnames=columns, restval=0)
+        writer.writeheader()
+        for row in self.rows():
+            writer.writerow(row)
+        atomic_write_text(path, buffer.getvalue())
         return len(self.samples)
 
     def to_json(self, path: Optional[str] = None) -> Dict[str, Any]:
@@ -252,6 +255,5 @@ class SeriesCollector:
             "samples": self.rows(),
         }
         if path is not None:
-            with open(path, "w") as handle:
-                json.dump(document, handle)
+            atomic_write_text(path, json.dumps(document))
         return document

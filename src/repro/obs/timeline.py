@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.ioutil import atomic_write_text
 from repro.obs.tracer import TraceEvent
 
 __all__ = ["EVENT_KIND_TRACKS", "build_chrome_trace", "write_chrome_trace"]
@@ -205,6 +206,5 @@ def write_chrome_trace(path: str, events: Iterable[TraceEvent],
                        = None) -> int:
     """Write a Chrome trace JSON file; returns the number of trace events."""
     document = build_chrome_trace(events, queue_depth=queue_depth)
-    with open(path, "w") as handle:
-        json.dump(document, handle)
+    atomic_write_text(path, json.dumps(document))
     return len(document["traceEvents"])

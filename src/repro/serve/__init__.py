@@ -1,0 +1,60 @@
+"""``repro serve`` — a crash-recoverable scheduler service.
+
+This package wraps the discrete-event simulator and the Lucid scheduler
+behind a long-running daemon with *durable* state:
+
+* :mod:`repro.serve.config` — the durable service configuration that
+  pins everything determinism depends on (trace, scheduler, seeds,
+  admission batching).
+* :mod:`repro.serve.jobspec` — JSON job specifications accepted at
+  runtime (file inbox and HTTP), exact-roundtrip serialization.
+* :mod:`repro.serve.inbox` — the file inbox: atomically dropped specs,
+  polled in sorted order, with burst backpressure.
+* :mod:`repro.serve.wal` — append-only, checksummed write-ahead log of
+  every state transition (admission batches and tick commits).
+* :mod:`repro.serve.store` — sqlite (WAL mode) persistence: service
+  metadata, snapshots, and a job catalog for offline inspection.
+* :mod:`repro.serve.core` — ``SimCore``: the deterministic state
+  machine (simulator + scheduler) the service journals; snapshots and
+  state digests live here.
+* :mod:`repro.serve.recovery` — unclean-shutdown detection, snapshot
+  load + WAL replay, digest verification.
+* :mod:`repro.serve.http` — localhost HTTP endpoints (submit / status /
+  metrics / healthz) built on ``http.server``.
+* :mod:`repro.serve.daemon` — the service loop: admission batching,
+  snapshots, graceful drain, watchdog heartbeat, degraded mode.
+* :mod:`repro.serve.chaos` — the crash harness: seeded SIGKILL points
+  against a live daemon, restart, and bit-identity assertions against
+  an uncrashed control run.
+
+The recovery invariant (see DESIGN.md): the service state is a pure
+deterministic function of (config, admitted-spec sequence, tick
+schedule), all of which are journaled write-ahead — so replaying the
+WAL over the last snapshot always reproduces the pre-crash state
+bit-identically.
+"""
+
+from repro.serve.config import ServeConfig
+from repro.serve.core import SimCore, state_digest
+from repro.serve.daemon import ServeDaemon
+from repro.serve.inbox import Inbox
+from repro.serve.jobspec import JobSpecError, job_from_spec, job_to_spec
+from repro.serve.recovery import RecoveryReport, recover
+from repro.serve.store import Store
+from repro.serve.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "Inbox",
+    "JobSpecError",
+    "RecoveryReport",
+    "ServeConfig",
+    "ServeDaemon",
+    "SimCore",
+    "Store",
+    "WalRecord",
+    "WriteAheadLog",
+    "job_from_spec",
+    "job_to_spec",
+    "recover",
+    "state_digest",
+]

@@ -1,0 +1,97 @@
+"""Durable service configuration.
+
+A :class:`ServeConfig` pins every knob the deterministic replay depends
+on: which trace preset sizes the cluster and history, which scheduler
+runs, the fault spec, and the admission/advance batching constants.  It
+is written into the sqlite store at genesis and *re-loaded from the
+store on every restart* — a recovered daemon must rebuild the exact
+state machine the WAL was journaled against, so command-line overrides
+of these fields after genesis are a config-mismatch error, not a merge.
+
+Runtime-only knobs (HTTP port, poll interval, drain mode, fsync,
+snapshot cadence) deliberately live *outside* this class: they may vary
+across boots without affecting the journaled state evolution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = ["ServeConfig", "ConfigMismatchError"]
+
+
+class ConfigMismatchError(ValueError):
+    """A restart tried to change a determinism-critical config field."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Determinism-critical configuration of one service instance.
+
+    Attributes
+    ----------
+    trace:
+        Trace preset name (``venus``/``saturn``/``philly``); sizes the
+        cluster and generates the model-training history.
+    scheduler:
+        Scheduler name (``lucid``, ``fifo``, ...).
+    jobs:
+        Trace-spec job-count override (affects history generation),
+        or ``None`` for the preset default.
+    seed:
+        Trace-spec seed override, or ``None`` for the preset default.
+    faults:
+        Fault-injection spec string (inline k=v or JSON) armed at
+        genesis — the chaos driver — or ``None``.
+    batch:
+        Admission batch size: at most this many inbox specs are
+        admitted per tick (burst protection).
+    events_per_tick:
+        Maximum simulator event batches advanced per tick; bounds how
+        much work one tick performs (and one WAL record covers).
+    """
+
+    trace: str = "venus"
+    scheduler: str = "lucid"
+    jobs: Optional[int] = None
+    seed: Optional[int] = None
+    faults: Optional[str] = None
+    batch: int = 8
+    events_per_tick: int = 64
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.events_per_tick < 1:
+            raise ValueError("events_per_tick must be >= 1")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeConfig":
+        payload: Dict[str, Any] = json.loads(text)
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown serve config keys: {sorted(unknown)}")
+        return cls(**payload)
+
+    def check_compatible(self, stored: "ServeConfig") -> None:
+        """Raise :class:`ConfigMismatchError` if this boot's config
+        diverges from the one the store was created with."""
+        if self != stored:
+            diffs = [
+                f"{f.name}: stored={getattr(stored, f.name)!r} "
+                f"requested={getattr(self, f.name)!r}"
+                for f in fields(self)
+                if getattr(self, f.name) != getattr(stored, f.name)
+            ]
+            raise ConfigMismatchError(
+                "service store was created with a different config; "
+                "deterministic replay requires the original values "
+                f"({'; '.join(diffs)})")

@@ -1,0 +1,357 @@
+"""The service loop: admission ticks, snapshots, drain, watchdog.
+
+One :class:`ServeDaemon` owns a state directory::
+
+    <state_dir>/
+        serve.sqlite    durable store (config, snapshots, job catalog)
+        wal/            write-ahead log segments
+        inbox/          job-spec drop box
+
+Each *service tick* is journaled write-ahead and then applied:
+
+1. Poll the inbox for up to ``config.batch`` unconsumed specs (sorted
+   filename order — the admission schedule is timing-independent).
+2. Append a ``tick`` WAL record carrying the full specs (write-ahead:
+   durable before anything is applied).
+3. Apply it via :func:`repro.serve.recovery.apply_tick_record` — the
+   same function recovery replays — admitting jobs and advancing the
+   simulator by at most ``config.events_per_tick`` event batches.
+4. Append the ``commit`` record with the post-tick state digest.
+
+A crash at *any* point in that sequence is recoverable: before the
+tick record is durable the tick simply never happened; after it, the
+deterministic re-application reproduces the exact state the commit
+digest certifies.
+
+Lifecycle hardening: SIGTERM/SIGINT request a graceful drain (finish
+the in-flight tick, final snapshot, flush and close WAL + store, mark
+the store clean); a watchdog heartbeat timestamp is exported through
+``/metrics`` and gates ``/healthz``; a :class:`SimulationError` flips
+the core into degraded mode (reads keep working, submissions get 503)
+instead of killing the process.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from types import FrameType
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.logutil import get_logger
+from repro.serve.config import ServeConfig
+from repro.serve.core import SimCore
+from repro.serve.http import DegradedError, HttpFrontend
+from repro.serve.inbox import Inbox, InboxItem
+from repro.serve.jobspec import JobSpecError, job_from_spec
+from repro.serve.recovery import RecoveryReport, apply_tick_record, recover
+from repro.serve.store import Store
+from repro.serve.wal import WriteAheadLog
+
+__all__ = ["ServeDaemon"]
+
+logger = get_logger("serve.daemon")
+
+#: ``/healthz`` fails once the loop heartbeat is older than this many
+#: poll intervals (plus a floor for very fast polls).
+_HEARTBEAT_SLACK = 20.0
+
+
+class ServeDaemon:
+    """Crash-recoverable scheduler service over one state directory.
+
+    Parameters
+    ----------
+    state_dir:
+        Root of the durable state (created if missing).
+    config:
+        Requested :class:`ServeConfig`; must match the stored genesis
+        config on restarts (``None`` = use the stored one).
+    poll_interval:
+        Idle sleep between inbox polls, seconds (wall clock; never
+        feeds into simulated time).
+    snapshot_every:
+        Take a store snapshot (and rotate the WAL segment) every N
+        committed ticks.
+    http_port:
+        Localhost HTTP port (0 = ephemeral); ``None`` disables HTTP.
+    inbox_capacity:
+        Pending-spec bound before submissions get backpressure.
+    durable:
+        fsync WAL appends and renames (power-loss durability).  Tests
+        may disable for speed; SIGKILL-crash safety does not need it.
+    exit_when_idle:
+        Leave the service loop once at least one job was admitted and
+        the simulator went idle with an empty inbox (CI/batch mode).
+    """
+
+    def __init__(self, state_dir: str,
+                 config: Optional[ServeConfig] = None, *,
+                 poll_interval: float = 0.05,
+                 snapshot_every: int = 25,
+                 http_port: Optional[int] = None,
+                 inbox_capacity: int = 64,
+                 durable: bool = True,
+                 exit_when_idle: bool = False) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.state_dir = state_dir
+        self.requested_config = config
+        self.poll_interval = poll_interval
+        self.snapshot_every = snapshot_every
+        self.http_port = http_port
+        self.durable = durable
+        self.exit_when_idle = exit_when_idle
+
+        self.store: Optional[Store] = None
+        self.wal: Optional[WriteAheadLog] = None
+        self.core: Optional[SimCore] = None
+        self.inbox = Inbox(os.path.join(state_dir, "inbox"),
+                           capacity=inbox_capacity)
+        self.http: Optional[HttpFrontend] = None
+        self.recovery: Optional[RecoveryReport] = None
+
+        self._lock = threading.RLock()
+        self._stop_requested = False
+        self._started = False
+        self._admitted_any = False
+        self._heartbeat = 0.0
+        self._ticks_this_boot = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> RecoveryReport:
+        """Open the store, run recovery, start the HTTP frontend."""
+        if self._started:
+            raise RuntimeError("daemon already started")
+        self.store = Store(self.state_dir)
+        self.wal = WriteAheadLog(os.path.join(self.state_dir, "wal"),
+                                 durable=self.durable)
+        self.core, self.recovery = recover(self.store, self.wal,
+                                           self.requested_config)
+        self._admitted_any = bool(self.core.sim.jobs)
+        # Dirty until a graceful close: a SIGKILL from here on leaves
+        # clean=0 behind and the next boot knows to distrust the tail.
+        self.store.mark_dirty()
+        self._heartbeat = time.monotonic()
+        if self.http_port is not None:
+            self.http = HttpFrontend(self, port=self.http_port)
+            self.http.start()
+        self._started = True
+        logger.info("serve started in %s: %s", self.state_dir,
+                    self.recovery.describe())
+        return self.recovery
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT request a graceful drain (main thread only)."""
+        def _request_stop(signum: int,
+                          frame: Optional[FrameType]) -> None:
+            logger.info("signal %d: drain requested", signum)
+            self._stop_requested = True
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    def run_forever(self) -> int:
+        """The service loop; returns the number of ticks run this boot.
+
+        Loops until a drain is requested (SIGTERM/SIGINT or
+        :meth:`request_stop`) — or, with ``exit_when_idle``, until the
+        admitted work completes — then shuts down gracefully.
+        """
+        if not self._started:
+            self.start()
+        try:
+            while not self._stop_requested:
+                progressed = self.tick()
+                self._heartbeat = time.monotonic()
+                if not progressed:
+                    if self.exit_when_idle and self._admitted_any:
+                        logger.info("idle with work complete; draining")
+                        break
+                    time.sleep(self.poll_interval)
+        finally:
+            self.close()
+        return self._ticks_this_boot
+
+    def request_stop(self) -> None:
+        self._stop_requested = True
+
+    def close(self) -> None:
+        """Graceful drain: final snapshot, flush + close WAL and store."""
+        if not self._started:
+            return
+        if self.http is not None:
+            self.http.stop()
+            self.http = None
+        with self._lock:
+            assert self.core is not None and self.store is not None \
+                and self.wal is not None
+            self._snapshot()
+            self.wal.close()
+            self.store.mark_clean()
+            self.store.close()
+            self._started = False
+        logger.info("serve drained cleanly at tick %d", self.core.tick)
+
+    # ------------------------------------------------------------------
+    # The service tick
+    # ------------------------------------------------------------------
+    def tick(self) -> bool:
+        """Run one journaled service tick; ``False`` when idle."""
+        with self._lock:
+            assert self.core is not None and self.wal is not None \
+                and self.store is not None
+            core = self.core
+            items = self.inbox.poll(core.consumed, core.config.batch)
+            if core.degraded is not None:
+                # Degraded: stop admitting and advancing; reads only.
+                return False
+            if not items and not core.active:
+                return False
+            rec = self._tick_record(core.tick + 1, items)
+            self.wal.append(rec)  # write-ahead: durable before applied
+            dispositions = apply_tick_record(core, rec)
+            core.tick += 1
+            self.wal.append({"kind": "commit", "tick": core.tick,
+                             "digest": core.digest(),
+                             "now": core.sim.now,
+                             "events": core.sim._events_processed,
+                             "degraded": core.degraded})
+            self._ticks_this_boot += 1
+            if dispositions:
+                self._admitted_any = True
+                self._catalog(core.tick, rec, dispositions)
+            # Consumed spec files may go: their content is in the WAL.
+            self.inbox.remove([str(n) for n in rec["files"]]
+                              + [str(n) for n in rec["skipped"]])
+            if core.degraded is not None:
+                logger.error("core degraded at tick %d: %s", core.tick,
+                             core.degraded)
+            if core.tick % self.snapshot_every == 0:
+                self._snapshot()
+            return True
+
+    def _tick_record(self, tick: int,
+                     items: List[InboxItem]) -> Dict[str, Any]:
+        readable = [item for item in items if item.spec is not None]
+        skipped = [item for item in items if item.spec is None]
+        for item in skipped:
+            logger.warning("inbox %s skipped: %s", item.name, item.error)
+        return {"kind": "tick", "tick": tick,
+                "files": [item.name for item in readable],
+                "specs": [item.spec for item in readable],
+                "skipped": [item.name for item in skipped]}
+
+    def _catalog(self, tick: int, rec: Dict[str, Any],
+                 dispositions: List[Dict[str, Any]]) -> None:
+        """Mirror admission outcomes into the store's job catalog."""
+        assert self.store is not None
+        specs = {str(name): spec
+                 for name, spec in zip(rec["files"], rec["specs"])}
+        for dispo in dispositions:
+            job_id = dispo["job_id"]
+            if job_id is None:
+                continue  # rejected specs carry no catalog row
+            self.store.record_job(int(job_id), tick,
+                                  str(dispo["disposition"]),
+                                  specs.get(str(dispo["file"]), {}))
+            logger.info("tick %d: job %s %s (%s)", tick, job_id,
+                        dispo["disposition"], dispo["file"])
+
+    def _snapshot(self) -> None:
+        """Snapshot to the store and rotate the WAL segment."""
+        assert self.core is not None and self.store is not None \
+            and self.wal is not None
+        core = self.core
+        self.wal.append({"kind": "snapshot", "tick": core.tick})
+        self.store.put_snapshot(core.tick, self.wal.next_seq,
+                                core.digest(), core.to_blob())
+        self.wal.open_segment(core.tick, self.wal.next_seq)
+        logger.info("snapshot at tick %d (seq %d)", core.tick,
+                    self.wal.next_seq)
+
+    # ------------------------------------------------------------------
+    # Frontend API (HTTP handlers and tests; thread-safe)
+    # ------------------------------------------------------------------
+    def submit(self, spec: Mapping[str, Any]) -> Dict[str, Any]:
+        """Validate and drop one spec into the inbox.
+
+        Raises ``JobSpecError`` on schema violations (fail fast — the
+        client gets a 400 instead of a journaled rejection), or the
+        admission-time rejection reason when the spec can never be
+        placed; ``InboxFullError`` under backpressure;
+        :class:`DegradedError` in degraded mode.
+        """
+        with self._lock:
+            assert self.core is not None
+            if self.core.degraded is not None:
+                raise DegradedError(
+                    f"service is degraded: {self.core.degraded}")
+            job_from_spec(dict(spec), job_id=0)  # schema check
+            reason = self.core.admission_error(dict(spec))
+            if reason is not None:
+                raise JobSpecError(reason)
+            name = self.inbox.submit(dict(spec), self.core.consumed)
+            return {"status": "accepted", "file": name}
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            assert self.core is not None
+            core = self.core
+            return {
+                "tick": core.tick,
+                "sim_now": core.sim.now,
+                "active": core.active,
+                "degraded": core.degraded,
+                "jobs": core.job_statuses(),
+                "recovery": (self.recovery.describe()
+                             if self.recovery else None),
+            }
+
+    def metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            assert self.core is not None and self.store is not None
+            core = self.core
+            finished = sum(1 for row in core.job_statuses()
+                           if row["status"] == "finished")
+            return {
+                "ticks": core.tick,
+                "ticks_this_boot": self._ticks_this_boot,
+                "events_processed": core.sim._events_processed,
+                "sim_now": core.sim.now,
+                "jobs_total": len(core.sim.jobs),
+                "jobs_finished": finished,
+                "inbox_pending": len(self.inbox.pending(core.consumed)),
+                "snapshots": len(self.store.snapshot_ticks()),
+                "heartbeat_age_s": round(self.heartbeat_age(), 3),
+                "degraded": core.degraded is not None,
+            }
+
+    def health(self) -> Tuple[bool, Dict[str, Any]]:
+        """Watchdog verdict for ``/healthz``."""
+        with self._lock:
+            assert self.core is not None
+            age = self.heartbeat_age()
+            budget = max(5.0, self.poll_interval * _HEARTBEAT_SLACK)
+            stale = age > budget
+            degraded = self.core.degraded is not None
+            detail = {"ok": not (stale or degraded),
+                      "heartbeat_age_s": round(age, 3),
+                      "heartbeat_budget_s": budget,
+                      "degraded": self.core.degraded}
+            return not (stale or degraded), detail
+
+    def heartbeat_age(self) -> float:
+        return time.monotonic() - self._heartbeat
+
+    def __enter__(self) -> "ServeDaemon":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

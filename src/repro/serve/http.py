@@ -1,0 +1,133 @@
+"""Localhost HTTP frontend for the serve daemon (stdlib ``http.server``).
+
+Endpoints (all JSON):
+
+* ``POST /submit`` — body is one job spec; the frontend drops it into
+  the file inbox (the single admission path — HTTP submissions and
+  direct file drops are admitted by the identical polling logic).
+  Responses: ``202`` accepted (with assigned inbox file), ``400``
+  invalid spec/JSON, ``429`` inbox full (with ``Retry-After``), ``503``
+  degraded mode.
+* ``GET /status`` — service tick, simulated clock, per-job statuses.
+* ``GET /metrics`` — counters and gauges, including the watchdog
+  heartbeat age.
+* ``GET /healthz`` — ``200 ok`` while the service loop heartbeat is
+  fresh and the core is healthy, else ``503``.
+
+The server binds localhost only, runs in daemon threads, and applies a
+per-request socket timeout so a stuck client cannot wedge a handler
+thread.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.obs.logutil import get_logger
+from repro.serve.inbox import InboxFullError
+from repro.serve.jobspec import JobSpecError
+
+__all__ = ["DegradedError", "HttpFrontend"]
+
+logger = get_logger("serve.http")
+
+_MAX_BODY = 1 << 20  # 1 MiB: job specs are small; bound request memory
+
+
+class DegradedError(RuntimeError):
+    """The service is in degraded mode and not accepting submissions."""
+
+
+def _make_handler(daemon: Any) -> Type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        timeout = 10.0  # per-request socket timeout
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-serve"
+
+        # -- plumbing --------------------------------------------------
+        def log_message(self, fmt: str, *args: Any) -> None:
+            logger.debug("http: " + fmt, *args)
+
+        def _reply(self, code: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        # -- routes ----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path == "/status":
+                self._reply(200, daemon.status())
+            elif self.path == "/metrics":
+                self._reply(200, daemon.metrics())
+            elif self.path == "/healthz":
+                healthy, detail = daemon.health()
+                self._reply(200 if healthy else 503, detail)
+            else:
+                self._reply(404, {"error": f"no such path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            if self.path != "/submit":
+                self._reply(404, {"error": f"no such path {self.path!r}"})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            if length <= 0 or length > _MAX_BODY:
+                self._reply(400, {"error": "missing or oversized body"})
+                return
+            try:
+                spec = json.loads(self.rfile.read(length))
+            except ValueError as exc:
+                self._reply(400, {"error": f"invalid JSON: {exc}"})
+                return
+            try:
+                result = daemon.submit(spec)
+            except (JobSpecError, ValueError) as exc:
+                self._reply(400, {"error": str(exc)})
+            except InboxFullError as exc:
+                self._reply(429, {"error": str(exc)},
+                            {"Retry-After": f"{exc.retry_after:.0f}"})
+            except DegradedError as exc:
+                self._reply(503, {"error": str(exc)})
+            else:
+                self._reply(202, result)
+
+    return Handler
+
+
+class HttpFrontend:
+    """Threaded HTTP server bound to localhost."""
+
+    def __init__(self, daemon: Any, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port),
+                                           _make_handler(daemon))
+        self._server.daemon_threads = True
+        self._thread: Optional[Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port is concrete even for 0."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        self._thread = Thread(target=self._server.serve_forever,
+                              name="serve-http", daemon=True)
+        self._thread.start()
+        logger.info("http frontend on %s:%d", *self.address)
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

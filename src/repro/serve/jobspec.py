@@ -1,0 +1,151 @@
+"""Runtime job specifications: the JSON schema of submissions.
+
+A *job spec* is the JSON document a client drops into the service inbox
+(or POSTs to ``/submit``).  It carries exactly the fields needed to
+construct a :class:`~repro.workloads.job.Job`:
+
+.. code-block:: json
+
+    {
+        "name": "resnet50-batch256",
+        "user": "alice",
+        "vc": "vc0",
+        "gpu_num": 4,
+        "duration": 7200.0,
+        "submit_time": 0.0,
+        "profile": {"gpu_util": 60.0, "gpu_mem_util": 30.0,
+                    "gpu_mem_mb": 12000.0, "amp": false},
+        "amp": false
+    }
+
+``job_id`` is optional — the daemon assigns the next free id when
+absent.  Serialization is exact: floats round-trip bit-identically
+through JSON (Python emits ``repr`` shortest-form floats), which the
+recovery path relies on when re-admitting specs out of the WAL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.workloads.job import Job
+from repro.workloads.model_zoo import ResourceProfile
+
+__all__ = ["JobSpecError", "job_from_spec", "job_to_spec", "validate_spec"]
+
+#: Fields a spec must carry (``job_id``/``submit_time`` are optional).
+_REQUIRED = ("name", "user", "vc", "gpu_num", "duration", "profile")
+_PROFILE_REQUIRED = ("gpu_util", "gpu_mem_util", "gpu_mem_mb")
+#: Every key a spec may carry; unknown keys are rejected loudly so
+#: client typos (``gpus`` for ``gpu_num``) do not silently default.
+_ALLOWED = frozenset(_REQUIRED) | {
+    "job_id", "submit_time", "amp", "template_id", "deadline",
+    "cpu_per_gpu", "cpu_sensitivity",
+}
+
+
+class JobSpecError(ValueError):
+    """A job spec failed validation and cannot be admitted."""
+
+
+def _number(spec: Mapping[str, Any], key: str, default: Optional[float]
+            = None) -> float:
+    value = spec.get(key, default)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise JobSpecError(f"spec field {key!r} must be a number, "
+                           f"got {value!r}")
+    return float(value)
+
+
+def validate_spec(spec: Mapping[str, Any]) -> None:
+    """Schema validation; raises :class:`JobSpecError` on bad specs."""
+    if not isinstance(spec, Mapping):
+        raise JobSpecError(f"job spec must be a JSON object, got "
+                           f"{type(spec).__name__}")
+    unknown = set(spec) - _ALLOWED
+    if unknown:
+        raise JobSpecError(f"unknown spec fields: {sorted(unknown)}; "
+                           f"allowed: {sorted(_ALLOWED)}")
+    missing = [key for key in _REQUIRED if key not in spec]
+    if missing:
+        raise JobSpecError(f"spec misses required fields: {missing}")
+    for key in ("name", "user", "vc"):
+        if not isinstance(spec[key], str) or not spec[key]:
+            raise JobSpecError(f"spec field {key!r} must be a non-empty "
+                               "string")
+    gpu_num = spec["gpu_num"]
+    if not isinstance(gpu_num, int) or isinstance(gpu_num, bool) \
+            or gpu_num < 1:
+        raise JobSpecError(f"gpu_num must be a positive integer, "
+                           f"got {gpu_num!r}")
+    if _number(spec, "duration") <= 0:
+        raise JobSpecError("duration must be > 0")
+    profile = spec["profile"]
+    if not isinstance(profile, Mapping):
+        raise JobSpecError("profile must be an object")
+    for key in _PROFILE_REQUIRED:
+        if key not in profile:
+            raise JobSpecError(f"profile misses field {key!r}")
+
+
+def job_from_spec(spec: Mapping[str, Any], job_id: int) -> Job:
+    """Build a :class:`Job` from a validated spec.
+
+    ``job_id`` is the service-assigned id (the spec's own ``job_id``
+    field, when present, must already equal it — the daemon resolves
+    collisions before calling).
+    """
+    validate_spec(spec)
+    profile_spec = spec["profile"]
+    try:
+        profile = ResourceProfile(
+            gpu_util=float(profile_spec["gpu_util"]),
+            gpu_mem_util=float(profile_spec["gpu_mem_util"]),
+            gpu_mem_mb=float(profile_spec["gpu_mem_mb"]),
+            amp=bool(profile_spec.get("amp", False)),
+        )
+        return Job(
+            job_id=job_id,
+            name=str(spec["name"]),
+            user=str(spec["user"]),
+            vc=str(spec["vc"]),
+            submit_time=_number(spec, "submit_time", 0.0),
+            duration=_number(spec, "duration"),
+            gpu_num=int(spec["gpu_num"]),
+            profile=profile,
+            amp=bool(spec.get("amp", False)),
+            template_id=spec.get("template_id"),
+            deadline=(None if spec.get("deadline") is None
+                      else _number(spec, "deadline")),
+            cpu_per_gpu=_number(spec, "cpu_per_gpu", 4.0),
+            cpu_sensitivity=_number(spec, "cpu_sensitivity", 0.5),
+        )
+    except ValueError as exc:
+        raise JobSpecError(str(exc)) from None
+
+
+def job_to_spec(job: Job) -> Dict[str, Any]:
+    """Serialize a :class:`Job` to its spec dict (exact round-trip)."""
+    spec: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "name": job.name,
+        "user": job.user,
+        "vc": job.vc,
+        "submit_time": job.submit_time,
+        "duration": job.duration,
+        "gpu_num": job.gpu_num,
+        "profile": {
+            "gpu_util": job.profile.gpu_util,
+            "gpu_mem_util": job.profile.gpu_mem_util,
+            "gpu_mem_mb": job.profile.gpu_mem_mb,
+            "amp": job.profile.amp,
+        },
+        "amp": job.amp,
+        "cpu_per_gpu": job.cpu_per_gpu,
+        "cpu_sensitivity": job.cpu_sensitivity,
+    }
+    if job.template_id is not None:
+        spec["template_id"] = job.template_id
+    if job.deadline is not None:
+        spec["deadline"] = job.deadline
+    return spec

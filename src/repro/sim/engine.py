@@ -288,7 +288,26 @@ class Simulator:
     # Run loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Replay the trace to completion and return aggregated results."""
+        """Replay the trace to completion and return aggregated results.
+
+        Equivalent to ``begin()`` + ``step_batch()`` until exhausted +
+        ``finalize()``; the stepwise API exists so a long-running service
+        (:mod:`repro.serve`) can interleave runtime job admission with
+        bounded simulation progress.  Both paths execute the identical
+        operation sequence, so batch results stay bit-stable.
+        """
+        self.begin()
+        while self.step_batch():
+            pass
+        return self.finalize()
+
+    def begin(self) -> None:
+        """Attach the scheduler, arm faults and enqueue trace submissions.
+
+        Must be called exactly once before :meth:`step_batch`.  Jobs
+        passed to the constructor get their ``SUBMIT`` events here;
+        further jobs may join later via :meth:`add_job`.
+        """
         logger.info("run start: %d jobs on %d GPUs under %s",
                     len(self.jobs), self.cluster.n_gpus,
                     getattr(self.scheduler, "name", type(self.scheduler)))
@@ -298,63 +317,92 @@ class Simulator:
             job = self.jobs[job_id]
             self.events.push(job.submit_time, EventKind.SUBMIT, job.job_id)
         self._maybe_schedule_tick()
+        if self.profiler is not None:
+            self.profiler.start_run()
+
+    def add_job(self, job: Job) -> None:
+        """Admit one job after :meth:`begin` (serve-mode runtime admission).
+
+        The submission event fires at ``max(now, job.submit_time)`` —
+        simulated time never runs backwards — and the periodic scheduler
+        tick is re-armed in case the simulator had gone idle.
+        """
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        self.jobs[job.job_id] = job
+        self._unfinished += 1
+        self.events.push(max(self.now, job.submit_time), EventKind.SUBMIT,
+                         job.job_id)
+        self._maybe_schedule_tick()
+
+    def step_batch(self) -> bool:
+        """Advance by one step of the run loop; ``False`` when quiescent.
+
+        One call either (a) dispatches the next timestamp batch of
+        events plus the following scheduler pass, or (b) — when the
+        event queue is empty but jobs remain — gives the scheduler one
+        last chance to make progress, raising :class:`SimulationError`
+        if it cannot (deadlock).  Returns ``False`` once every admitted
+        job has finished.
+        """
+        if self._unfinished <= 0:
+            return False
         sanitizer = self.sanitizer
         profiler = self.profiler
         series = self.series
-        if profiler is not None:
-            profiler.start_run()
-
-        while self._unfinished > 0:
-            if not self.events:
-                # Give the scheduler one last chance (e.g. sharing decisions).
-                self._invoke_scheduler()
-                if self._unfinished > 0 and not self.events:
-                    stuck = [job_id for job_id, j in sorted(self.jobs.items())
-                             if j.status not in (JobStatus.FINISHED,
-                                                 JobStatus.FAILED)]
-                    logger.error("deadlock at t=%.0fs: %d unfinished jobs",
-                                 self.now, len(stuck))
-                    raise SimulationError(
-                        f"simulation deadlocked at t={self.now:.0f}s with "
-                        f"{len(stuck)} unfinished jobs (first: {stuck[:5]})")
-                continue
+        if not self.events:
+            # Give the scheduler one last chance (e.g. sharing decisions).
+            self._invoke_scheduler()
+            if self._unfinished > 0 and not self.events:
+                stuck = [job_id for job_id, j in sorted(self.jobs.items())
+                         if j.status not in (JobStatus.FINISHED,
+                                             JobStatus.FAILED)]
+                logger.error("deadlock at t=%.0fs: %d unfinished jobs",
+                             self.now, len(stuck))
+                raise SimulationError(
+                    f"simulation deadlocked at t={self.now:.0f}s with "
+                    f"{len(stuck)} unfinished jobs (first: {stuck[:5]})")
+            return True
+        event = self.events.pop()
+        if series is not None:
+            # Grid points strictly before this batch sample the state
+            # the previous batch left behind (piecewise-constant).
+            series.advance_to(max(self.now, event.time))
+        self.now = max(self.now, event.time)
+        self._dispatch_profiled(event, profiler)
+        if sanitizer is not None:
+            sanitizer.after_dispatch(event)
+            if profiler is not None:
+                profiler.count("sanitizer_sweeps")
+        # Drain all simultaneous events before invoking the scheduler.
+        while self.events and self.events.peek_time() <= self.now + _EPS:
             event = self.events.pop()
-            if series is not None:
-                # Grid points strictly before this batch sample the state
-                # the previous batch left behind (piecewise-constant).
-                series.advance_to(max(self.now, event.time))
-            self.now = max(self.now, event.time)
             self._dispatch_profiled(event, profiler)
             if sanitizer is not None:
                 sanitizer.after_dispatch(event)
                 if profiler is not None:
                     profiler.count("sanitizer_sweeps")
-            # Drain all simultaneous events before invoking the scheduler.
-            while self.events and self.events.peek_time() <= self.now + _EPS:
-                event = self.events.pop()
-                self._dispatch_profiled(event, profiler)
-                if sanitizer is not None:
-                    sanitizer.after_dispatch(event)
-                    if profiler is not None:
-                        profiler.count("sanitizer_sweeps")
-            self._invoke_scheduler()
-            if sanitizer is not None:
-                sanitizer.after_schedule()
-                if profiler is not None:
-                    profiler.count("sanitizer_sweeps")
-            if series is not None:
-                # A grid point landing exactly on this batch's timestamp
-                # samples once, after the whole batch and scheduler pass.
-                series.sample_if_due(self.now)
-            self._maybe_schedule_tick()
-            if self._events_processed > self.max_events:
-                raise RuntimeError("max_events exceeded; likely a livelock")
-
-        self.utilization.update(self.now)
+        self._invoke_scheduler()
+        if sanitizer is not None:
+            sanitizer.after_schedule()
+            if profiler is not None:
+                profiler.count("sanitizer_sweeps")
         if series is not None:
-            series.finalize(self.now)
-        if profiler is not None:
-            profiler.finish_run(self._events_processed, self.now)
+            # A grid point landing exactly on this batch's timestamp
+            # samples once, after the whole batch and scheduler pass.
+            series.sample_if_due(self.now)
+        self._maybe_schedule_tick()
+        if self._events_processed > self.max_events:
+            raise RuntimeError("max_events exceeded; likely a livelock")
+        return True
+
+    def finalize(self) -> SimulationResult:
+        """Close out the run and build the :class:`SimulationResult`."""
+        self.utilization.update(self.now)
+        if self.series is not None:
+            self.series.finalize(self.now)
+        if self.profiler is not None:
+            self.profiler.finish_run(self._events_processed, self.now)
         logger.info("run done: makespan %.0fs, %d events dispatched",
                     self.now, self._events_processed)
         fault_stats: Optional[FaultStats] = None

@@ -99,8 +99,17 @@ class FaultStats:
     jobs_failed: int = 0
     lost_gpu_hours: float = 0.0
     goodput: float = 1.0
-    #: Mean time to repair across completed node recoveries (seconds).
+    #: Mean time to repair across *completed* node recoveries (seconds).
+    #: Repairs still in flight when the simulation ends are censored
+    #: observations: folding their (truncated) durations into the mean
+    #: would bias MTTR low, so they are excluded here and reported via
+    #: ``censored_repairs`` / ``censored_repair_hours`` instead.
     mttr: float = 0.0
+    #: Node-repair windows still open at simulation end.
+    censored_repairs: int = 0
+    #: Downtime those open windows had accumulated by simulation end
+    #: (hours) — a lower bound on their eventual repair time.
+    censored_repair_hours: float = 0.0
 
 
 @dataclass
@@ -234,6 +243,7 @@ class SimulationResult:
                 "lost_gpu_hours": self.faults.lost_gpu_hours,
                 "goodput": self.faults.goodput,
                 "mttr_hrs": self.faults.mttr / 3600.0,
+                "censored_repairs": float(self.faults.censored_repairs),
             })
         return out
 

@@ -430,6 +430,88 @@ class TestRPR008SeedThreading:
         assert found == []
 
 
+class TestRPR009RawStateWrites:
+    SERVE_PATH = os.path.join("src", "repro", "serve", "fixture.py")
+    OBS_PATH = os.path.join("src", "repro", "obs", "fixture.py")
+
+    def test_write_mode_open_flagged(self):
+        found = lint("""\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+        """, path=self.SERVE_PATH)
+        assert codes(found) == ["RPR009"]
+        assert "truncates" in found[0].message
+
+    def test_mode_keyword_and_exclusive_create_flagged(self):
+        found = lint("""\
+            def dump(path, text):
+                open(path, mode="w").write(text)
+                open(path, "x").write(text)
+        """, path=self.OBS_PATH)
+        assert codes(found) == ["RPR009", "RPR009"]
+
+    def test_read_and_append_clean(self):
+        found = lint("""\
+            def load(path):
+                with open(path) as handle:
+                    head = handle.read()
+                with open(path, "r") as handle:
+                    body = handle.read()
+                with open(path, "a") as handle:  # append-only journal
+                    handle.write(head)
+                return body
+        """, path=self.SERVE_PATH)
+        assert found == []
+
+    def test_tmp_path_stream_pattern_clean(self):
+        # The sanctioned idiom: stream into tmp_path(p), then os.replace.
+        found = lint("""\
+            import os
+            from repro.obs.ioutil import tmp_path
+            def dump(path, lines):
+                with open(tmp_path(path), "w") as handle:
+                    handle.writelines(lines)
+                os.replace(tmp_path(path), path)
+        """, path=self.OBS_PATH)
+        assert found == []
+
+    def test_tmp_path_variable_clean(self):
+        found = lint("""\
+            import os
+            from repro.obs.ioutil import tmp_path
+            def dump(path, lines):
+                tmp = tmp_path(path)
+                with open(tmp, "w") as handle:
+                    handle.writelines(lines)
+                os.replace(tmp, path)
+        """, path=self.OBS_PATH)
+        assert found == []
+
+    def test_out_of_scope_path_clean(self):
+        found = lint("""\
+            def dump(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+        """, path=UTIL_PATH)
+        assert found == []
+
+    def test_ioutil_helper_is_allowlisted(self):
+        found = lint("""\
+            def atomic_write_text(path, text):
+                with open(path + ".tmp", "w") as handle:
+                    handle.write(text)
+        """, path=os.path.join("src", "repro", "obs", "ioutil.py"))
+        assert found == []
+
+    def test_noqa_escape(self):
+        found = lint("""\
+            def truncate(path):
+                open(path, "w").close()  # repro: noqa RPR009
+        """, path=self.SERVE_PATH)
+        assert found == []
+
+
 class TestSuppression:
     def test_blanket_noqa(self):
         found = lint("""\
@@ -484,7 +566,7 @@ class TestReporting:
         assert payload["findings"][0]["line"] == 3
 
     def test_rules_table_complete(self):
-        assert set(RULES) == {f"RPR00{i}" for i in range(9)}
+        assert set(RULES) == {f"RPR00{i}" for i in range(10)}
         for summary, hint in RULES.values():
             assert summary and hint
 

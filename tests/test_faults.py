@@ -191,6 +191,34 @@ class TestScriptedFaults:
         assert result.faults.lost_gpu_hours == pytest.approx(100.0 / 3600.0)
         assert result.faults.mttr == pytest.approx(200.0)
 
+    def test_repairs_in_flight_at_sim_end_are_censored(self):
+        """A node still down when the run ends must not drag MTTR low.
+
+        Node 1 (idle) fails at t=500 and would recover at t=10500 —
+        long after the only job finishes at t=1000.  Its truncated
+        500 s downtime is a censored observation: excluded from
+        ``mttr`` and surfaced through ``censored_repairs`` /
+        ``censored_repair_hours`` instead.
+        """
+        spec = FaultSpec(script=(
+            FaultScriptEntry(time=100.0, kind="node_fail", node=0,
+                             duration=50.0),
+            FaultScriptEntry(time=500.0, kind="node_fail", node=1,
+                             duration=10_000.0),
+        ))
+        result = run_sim([make_job(1, duration=1000.0)], faults=spec)
+        stats = result.faults
+        assert stats.node_failures == 2
+        assert stats.node_recoveries == 1
+        # Only node 0's completed 50 s repair feeds the mean; naively
+        # folding in node 1's open window would have yielded 275 s.
+        assert stats.mttr == pytest.approx(50.0)
+        assert stats.censored_repairs == 1
+        makespan = result.makespan
+        assert stats.censored_repair_hours == pytest.approx(
+            (makespan - 500.0) / 3600.0)
+        assert result.summary()["censored_repairs"] == 1.0
+
     def test_crash_resumes_from_last_checkpoint(self):
         spec = FaultSpec(
             backoff_base=50.0, checkpoint_interval=300.0,

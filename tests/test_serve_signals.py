@@ -1,0 +1,147 @@
+"""Real-signal lifecycle tests: SIGTERM drains, SIGKILL recovers.
+
+These boot the daemon as an actual subprocess via ``python -m repro
+serve`` — the same entry CI and the chaos harness use — and assert the
+two halves of the lifecycle contract:
+
+* **SIGTERM** is a graceful drain: the process exits 0 on its own, the
+  store ends clean, and a final snapshot was flushed.
+* **SIGKILL** cannot corrupt: the store ends dirty, and a restarted
+  daemon recovers and finishes the workload with per-tick digests that
+  match a never-crashed control (the chaos invariant, 2-point edition).
+
+Every ``wait`` carries a timeout so a wedged daemon fails the test
+instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve import ServeConfig
+from repro.serve.chaos import (
+    chaos_run,
+    commit_digests,
+    final_state,
+    stage_trace_specs,
+)
+from repro.serve.store import Store
+
+#: venus@30 under fifo: a handful of service ticks, ~1s wall.
+CONFIG = ServeConfig(trace="venus", scheduler="fifo", jobs=30, seed=7)
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def spawn(state_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro", "serve",
+            "--state-dir", str(state_dir),
+            "--trace", CONFIG.trace, "--scheduler", CONFIG.scheduler,
+            "--jobs", str(CONFIG.jobs), "--seed", str(CONFIG.seed),
+            "--poll-interval", "0.01", "--no-fsync", *extra]
+    return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT)
+
+
+def wait_for_ticks(state_dir, minimum=1, budget=30.0):
+    """Poll until the subprocess daemon has committed ``minimum`` ticks."""
+    deadline = time.monotonic() + budget
+    while time.monotonic() < deadline:
+        if len(commit_digests(str(state_dir))) >= minimum:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"daemon committed < {minimum} ticks within {budget:.0f}s")
+
+
+class TestSigterm:
+    def test_sigterm_drains_and_flushes(self, tmp_path):
+        stage_trace_specs(str(tmp_path), CONFIG)
+        proc = spawn(tmp_path)
+        try:
+            wait_for_ticks(tmp_path, minimum=1)
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        assert code == 0
+        out = proc.stdout.read().decode()
+        assert "drained cleanly" in out
+        with Store(str(tmp_path)) as store:
+            assert store.is_clean()
+            # close() snapshots before marking clean: the final state is
+            # durable, not just the clean flag.
+            assert store.snapshot_ticks()[-1] >= 1
+        state = final_state(str(tmp_path))
+        assert state["tick"] == max(commit_digests(str(tmp_path)))
+
+    def test_drained_store_restarts_clean(self, tmp_path):
+        stage_trace_specs(str(tmp_path), CONFIG)
+        proc = spawn(tmp_path, "--exit-when-idle")
+        assert proc.wait(timeout=60) == 0
+        proc.stdout.close()
+        # Second boot on the drained store: clean restart, zero replay.
+        proc = spawn(tmp_path, "--exit-when-idle")
+        assert proc.wait(timeout=60) == 0
+        out = proc.stdout.read().decode()
+        assert "clean restart" in out
+        assert "0 tick(s) replayed" in out
+
+
+class TestSigkill:
+    def test_sigkill_leaves_a_recoverable_store(self, tmp_path):
+        control = tmp_path / "control"
+        stage_trace_specs(str(control), CONFIG)
+        proc = spawn(control, "--exit-when-idle")
+        assert proc.wait(timeout=60) == 0
+        proc.stdout.close()
+        control_digests = commit_digests(str(control))
+        control_final = final_state(str(control))
+
+        crashed = tmp_path / "crashed"
+        stage_trace_specs(str(crashed), CONFIG)
+        proc = spawn(crashed)
+        try:
+            wait_for_ticks(crashed, minimum=1)
+            proc.send_signal(signal.SIGKILL)
+            code = proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        proc.stdout.close()
+        assert code == -signal.SIGKILL
+        with Store(str(crashed)) as store:
+            assert not store.is_clean()  # unclean shutdown is detected
+
+        # Restart: recovery + the rest of the workload, bit-identically.
+        proc = spawn(crashed, "--exit-when-idle")
+        assert proc.wait(timeout=60) == 0
+        proc.stdout.close()
+        assert commit_digests(str(crashed)) == control_digests
+        recovered = final_state(str(crashed))
+        assert recovered["digest"] == control_final["digest"]
+        assert recovered["clean"]
+
+
+@pytest.mark.slow
+class TestChaosSweep:
+    def test_seeded_sweep_recovers_bit_identically(self, tmp_path):
+        """A miniature of the CI chaos gate (2 kill points)."""
+        result = chaos_run(str(tmp_path), CONFIG, points=2, chaos_seed=3,
+                           timeout=120.0)
+        assert result.ok, result.describe()
+        assert result.control_ticks >= 1
+        for trial in result.trials:
+            assert trial.ticks_checked == result.control_ticks
