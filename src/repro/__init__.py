@@ -14,6 +14,7 @@ Quickstart::
 """
 
 from repro.core import LucidConfig, LucidScheduler
+from repro.core.factory import make_scheduler
 from repro.faults import FaultInjector, FaultSpec, FaultSpecError, RetryPolicy
 from repro.sim import SimulationError, SimulationResult, Simulator
 from repro.traces import PHILLY, SATURN, VENUS, TraceGenerator, TraceSpec, get_spec
@@ -42,44 +43,6 @@ __all__ = [
     "quick_simulation",
     "make_scheduler",
 ]
-
-
-def make_scheduler(name, history, **kwargs):
-    """Instantiate a scheduler by name.
-
-    Parameters
-    ----------
-    name:
-        One of ``fifo``, ``sjf``, ``qssf``, ``tiresias``, ``horus``,
-        ``lucid``.
-    history:
-        Historical jobs (required by the learned schedulers; ignored by
-        the others).
-    kwargs:
-        Forwarded to the scheduler constructor (e.g. ``config=`` for
-        Lucid).
-    """
-    from repro.schedulers import (
-        FIFOScheduler,
-        HorusScheduler,
-        QSSFScheduler,
-        SJFScheduler,
-        TiresiasScheduler,
-    )
-
-    factories = {
-        "fifo": lambda: FIFOScheduler(**kwargs),
-        "sjf": lambda: SJFScheduler(**kwargs),
-        "qssf": lambda: QSSFScheduler(history, **kwargs),
-        "tiresias": lambda: TiresiasScheduler(**kwargs),
-        "horus": lambda: HorusScheduler(history, **kwargs),
-        "lucid": lambda: LucidScheduler(history, **kwargs),
-    }
-    try:
-        return factories[name.lower()]()
-    except KeyError:
-        raise KeyError(f"unknown scheduler {name!r}; "
-                       f"known: {sorted(factories)}") from None
 
 
 def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,

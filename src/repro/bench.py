@@ -14,7 +14,8 @@ Two bench files are comparable when their scenarios share the same
 that key, so adding scenarios to the matrix never breaks old baselines.
 
 This module is deliberately free of simulation logic — it only drives
-``Simulator`` runs — and lives outside the simulation packages, so its
+``Simulator`` runs — and lives at the application layer (a top-level
+module, above every library package in the layering DAG), so its
 wall-clock and timestamp reads are outside RPR002's scope.
 """
 
@@ -92,9 +93,12 @@ FULL_MATRIX: Tuple[BenchScenario, ...] = tuple(
 
 def run_scenario(scenario: BenchScenario) -> Dict[str, Any]:
     """Run one profiled simulation and distill its bench record."""
-    # Imported lazily: repro's package __init__ pulls in the scheduler
-    # stack, which would make this module import-heavy for diff-only use.
-    from repro import Simulator, TraceGenerator, get_spec, make_scheduler
+    # Imported lazily: the scheduler stack is too heavy to pull in at
+    # module import time for diff-only use.
+    from repro.core.factory import make_scheduler
+    from repro.sim.engine import Simulator
+    from repro.traces.generator import TraceGenerator
+    from repro.traces.spec import get_spec
 
     spec = get_spec(scenario.trace).with_jobs(scenario.jobs) \
         .with_seed(scenario.seed)

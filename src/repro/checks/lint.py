@@ -50,16 +50,21 @@ offending line, ideally with a justification comment nearby.
 from __future__ import annotations
 
 import ast
+import io
 import json
 import os
 import re
+import tokenize
 from dataclasses import asdict, dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 __all__ = [
     "RPR002_ALLOWLIST",
+    "RPR009_ALLOWLIST",
     "RULES",
     "Finding",
+    "SuppressionTracker",
+    "apply_noqa",
     "format_json",
     "format_text",
     "lint_file",
@@ -150,21 +155,22 @@ _SEED_PARAMS = frozenset({"seed", "rng", "random_state", "generator", "spec"})
 #: time.  Keys are path suffixes (``/``-separated); a value of ``None``
 #: exempts the whole module, a frozenset of function names exempts only
 #: reads whose innermost enclosing function matches.  Prefer this list
-#: over ``# repro: noqa RPR002`` comments: the exemption is reviewed in
-#: one place and survives line moves.
+#: over per-line noqa comments: the exemption is reviewed in one place
+#: and survives line moves.  Entries that stop matching any finding are
+#: flagged RPR130 by ``repro lint --project`` — delete them.
 RPR002_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {
-    # The self-profiler is wall-clock measurement by definition.
+    # The self-profiler is wall-clock measurement by definition.  obs/
+    # is outside per-file RPR002's scope, but the cross-function RPR112
+    # (digest reachability) consults this list too.
     "obs/prof.py": None,
     # Scheduler-pass latency telemetry (tracer metrics + SimProfiler).
     "sim/engine.py": frozenset({"_invoke_scheduler"}),
 }
 
 #: RPR009 allowlist (same shape as :data:`RPR002_ALLOWLIST`): modules
-#: allowed to issue raw in-place writes.  Only the atomic-write helper
-#: itself belongs here — it owns the tmp-file + rename dance.
-RPR009_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {
-    "obs/ioutil.py": None,
-}
+#: allowed to issue raw in-place writes.  Currently empty — the atomic
+#: write helper's tmp-file + rename dance already satisfies the rule.
+RPR009_ALLOWLIST: Dict[str, Optional[FrozenSet[str]]] = {}
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?",
@@ -187,11 +193,27 @@ class Finding:
                 f"{self.message} (hint: {self.hint})")
 
 
+def _comment_lines(source: str) -> Dict[int, str]:
+    """line -> comment text, via tokenize so docstring mentions of the
+    noqa marker are never mistaken for real suppressions."""
+    comments: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Untokenizable source: fall back to whole-line matching.
+        return {i: line for i, line in
+                enumerate(source.splitlines(), start=1)}
+    return comments
+
+
 def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
     """``line -> suppressed codes`` (``None`` = every code) from comments."""
     suppressed: Dict[int, Optional[Set[str]]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(line)
+    for lineno, comment in _comment_lines(source).items():
+        match = _NOQA_RE.search(comment)
         if match is None:
             continue
         codes = match.group("codes")
@@ -200,6 +222,35 @@ def _noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
         else:
             suppressed[lineno] = {c.strip() for c in codes.split(",")}
     return suppressed
+
+
+class SuppressionTracker:
+    """Records which suppressions actually fired during a lint run.
+
+    ``repro lint --project`` threads one tracker through every file and
+    graph rule; suppressions that never matched a finding surface as
+    RPR130 ("unused suppression") so the suppression surface can only
+    ratchet down.  ``# repro: noqa`` comments are keyed by
+    ``(path, line)``; allowlist entries by
+    ``(allowlist name, path-suffix key, function-or-None)``.
+    """
+
+    def __init__(self) -> None:
+        #: (path, line) -> codes the comment names (None = all codes).
+        self.noqa: Dict[Tuple[str, int], Optional[Set[str]]] = {}
+        self.noqa_used: Set[Tuple[str, int]] = set()
+        self.allowlist_used: Set[Tuple[str, str, Optional[str]]] = set()
+
+    def register_noqa(self, path: str, line: int,
+                      codes: Optional[Set[str]]) -> None:
+        self.noqa[(path, line)] = codes
+
+    def mark_noqa_used(self, path: str, line: int) -> None:
+        self.noqa_used.add((path, line))
+
+    def mark_allowlist_used(self, name: str, key: str,
+                            function: Optional[str]) -> None:
+        self.allowlist_used.add((name, key, function))
 
 
 def _path_packages(path: str) -> Set[str]:
@@ -218,8 +269,10 @@ class _Scope:
 class _DeterminismVisitor(ast.NodeVisitor):
     """Single-file pass implementing rules RPR001..RPR005, 7, 8, 9."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str,
+                 tracker: Optional[SuppressionTracker] = None) -> None:
         self.path = path
+        self.tracker = tracker
         self.findings: List[Finding] = []
         packages = _path_packages(path)
         self.in_sim = bool(packages & SIM_PACKAGES)
@@ -253,22 +306,35 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def _is_set_var(self, name: str) -> bool:
         return any(name in scope.set_vars for scope in reversed(self._scopes))
 
-    def _allowlisted(
+    def _allowlist_match(
             self,
-            allowlist: Dict[str, Optional[FrozenSet[str]]]) -> bool:
-        """Is the current location on a per-module/function allowlist?"""
+            allowlist: Dict[str, Optional[FrozenSet[str]]],
+    ) -> Optional[Tuple[str, Optional[str]]]:
+        """``(key, function)`` when the current location is allowlisted.
+
+        Called only once a finding was *detected*, so a hit means the
+        entry genuinely suppressed something — which is what the
+        RPR130 unused-suppression rule needs to know.
+        """
         path = os.path.normpath(self.path).replace(os.sep, "/")
         for suffix, functions in allowlist.items():
             if path == suffix or path.endswith("/" + suffix):
                 if functions is None:
-                    return True
-                return bool(self._func_names) and \
-                    self._func_names[-1] in functions
-        return False
+                    return (suffix, None)
+                if self._func_names and self._func_names[-1] in functions:
+                    return (suffix, self._func_names[-1])
+        return None
 
-    def _rpr002_exempt(self) -> bool:
-        """Is the current location on the instrumentation allowlist?"""
-        return self._allowlisted(RPR002_ALLOWLIST)
+    def _suppressed_by(self, name: str,
+                       allowlist: Dict[str, Optional[FrozenSet[str]]],
+                       ) -> bool:
+        """Check an allowlist and record the hit with the tracker."""
+        match = self._allowlist_match(allowlist)
+        if match is None:
+            return False
+        if self.tracker is not None:
+            self.tracker.mark_allowlist_used(name, match[0], match[1])
+        return True
 
     # -- imports -------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -324,8 +390,6 @@ class _DeterminismVisitor(ast.NodeVisitor):
         func = node.func
         if not (isinstance(func, ast.Name) and func.id == "open"):
             return
-        if self._allowlisted(RPR009_ALLOWLIST):
-            return
         mode: Optional[str] = None
         if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
                 and isinstance(node.args[1].value, str):
@@ -344,6 +408,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
         if self._is_tmp_path_call(target):
             return
         if isinstance(target, ast.Name) and target.id in self.tmp_path_vars:
+            return
+        if self._suppressed_by("RPR009_ALLOWLIST", RPR009_ALLOWLIST):
             return
         self._report("RPR009", node,
                      f"open(..., {mode!r}) truncates the destination in "
@@ -384,35 +450,41 @@ class _DeterminismVisitor(ast.NodeVisitor):
                          "np.random.default_rng() without a seed is "
                          "entropy-seeded (nondeterministic)")
 
-    def _check_clock_call(self, node: ast.Call) -> None:
-        if self._rpr002_exempt():
+    def _report_clock(self, node: ast.Call, message: str) -> None:
+        """RPR002 report point: allowlist checked *after* detection so
+        suppression hits are observable (RPR130)."""
+        if self._suppressed_by("RPR002_ALLOWLIST", RPR002_ALLOWLIST):
             return
+        self._report("RPR002", node, message)
+
+    def _check_clock_call(self, node: ast.Call) -> None:
         func = node.func
         if isinstance(func, ast.Name):
             if func.id in self.time_funcs and func.id in _TIME_BANNED:
-                self._report("RPR002", node,
-                             f"{func.id}() reads the wall clock")
+                self._report_clock(node,
+                                   f"{func.id}() reads the wall clock")
             return
         if not isinstance(func, ast.Attribute):
             return
         owner = func.value
         if (isinstance(owner, ast.Name) and owner.id in self.time_aliases
                 and func.attr in _TIME_BANNED):
-            self._report("RPR002", node,
-                         f"time.{func.attr}() reads the wall clock")
+            self._report_clock(node,
+                               f"time.{func.attr}() reads the wall clock")
             return
         if func.attr not in _DATETIME_BANNED:
             return
         if isinstance(owner, ast.Name) and owner.id in self.datetime_names:
-            self._report("RPR002", node,
-                         f"datetime.{func.attr}() reads the wall clock")
+            self._report_clock(node,
+                               f"datetime.{func.attr}() reads the wall "
+                               "clock")
         elif (isinstance(owner, ast.Attribute)
               and owner.attr in ("datetime", "date")
               and isinstance(owner.value, ast.Name)
               and owner.value.id in self.datetime_modules):
-            self._report("RPR002", node,
-                         f"datetime.{owner.attr}.{func.attr}() reads the "
-                         "wall clock")
+            self._report_clock(node,
+                               f"datetime.{owner.attr}.{func.attr}() reads "
+                               "the wall clock")
 
     # -- RPR003: unordered iteration ----------------------------------
     def _is_unordered(self, node: ast.expr) -> bool:
@@ -687,34 +759,64 @@ def _check_eventkind(path: str, tree: ast.Module) -> List[Finding]:
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
-def lint_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Lint one module's source; returns noqa-filtered findings."""
+def lint_source(source: str, path: str = "<string>",
+                tracker: Optional[SuppressionTracker] = None,
+                ) -> List[Finding]:
+    """Lint one module's source; returns noqa-filtered findings.
+
+    Any parse failure — syntax error, null bytes, broken encoding —
+    becomes an RPR000 finding with the file/line instead of an
+    exception, so one bad file cannot take down a whole lint run.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(code="RPR000", path=path, line=exc.lineno or 1,
                         col=exc.offset or 0, message=str(exc.msg),
                         hint=RULES["RPR000"][1])]
-    visitor = _DeterminismVisitor(path)
+    except ValueError as exc:  # e.g. null bytes in the source
+        return [Finding(code="RPR000", path=path, line=1, col=0,
+                        message=str(exc), hint=RULES["RPR000"][1])]
+    visitor = _DeterminismVisitor(path, tracker=tracker)
     visitor.visit(tree)
     findings = visitor.findings
     if os.path.basename(path) == "events.py":
         findings = findings + _check_eventkind(path, tree)
+    return apply_noqa(findings, source, path, tracker)
+
+
+def apply_noqa(findings: Sequence[Finding], source: str, path: str,
+               tracker: Optional[SuppressionTracker] = None,
+               ) -> List[Finding]:
+    """Drop findings suppressed by ``# repro: noqa`` comments, recording
+    registration and use with the tracker (RPR130)."""
     suppressed = _noqa_map(source)
+    if tracker is not None:
+        for line, codes in suppressed.items():
+            tracker.register_noqa(path, line, codes)
     kept: List[Finding] = []
     for finding in findings:
         codes = suppressed.get(finding.line, frozenset())
         if codes is None or (codes and finding.code in codes):
+            if tracker is not None:
+                tracker.mark_noqa_used(path, finding.line)
             continue
         kept.append(finding)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return kept
 
 
-def lint_file(path: str) -> List[Finding]:
-    """Lint one ``.py`` file from disk."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return lint_source(handle.read(), path)
+def lint_file(path: str,
+              tracker: Optional[SuppressionTracker] = None,
+              ) -> List[Finding]:
+    """Lint one ``.py`` file from disk (unreadable files -> RPR000)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(code="RPR000", path=path, line=1, col=0,
+                        message=str(exc), hint=RULES["RPR000"][1])]
+    return lint_source(source, path, tracker)
 
 
 def lint_paths(paths: Sequence[str]) -> List[Finding]:

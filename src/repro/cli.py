@@ -118,8 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="determinism linter (RPR rules; exit 1 on findings)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format")
+    lint.add_argument("--project", action="store_true",
+                      help="whole-program mode: index the package's "
+                           "import/call graphs and run the architecture "
+                           "(RPR10x), replay-safety (RPR11x) and "
+                           "hot-path (RPR12x) packs on top of the "
+                           "per-file rules")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="report format")
+    lint.add_argument("--baseline", metavar="FILE",
+                      default=os.path.join("benchmarks",
+                                           "lint_baseline.json"),
+                      help="ratchet baseline (default: "
+                           "benchmarks/lint_baseline.json)")
+    lint.add_argument("--ratchet", action="store_true",
+                      help="fail only on findings absent from the "
+                           "baseline (existing debt is tolerated, new "
+                           "debt is not)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file from this run's "
+                           "findings and exit 0")
 
     bench = sub.add_parser(
         "bench", help="run the perf scenario matrix; exit 1 on regression")
@@ -546,7 +564,7 @@ def cmd_packing(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.obs.bench import (
+    from repro.bench import (
         FULL_MATRIX,
         QUICK_MATRIX,
         BenchScenario,
@@ -615,7 +633,7 @@ def _report_bench_diff(args, profiler, result, n_jobs: int):
     embedded table answers "did *this* run regress?" rather than
     re-printing the whole baseline.
     """
-    from repro.obs.bench import BenchScenario, diff_bench, load_bench
+    from repro.bench import BenchScenario, diff_bench, load_bench
 
     baseline = load_bench(args.against)
     seed = args.seed
@@ -841,14 +859,49 @@ def cmd_serve_chaos(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.checks import format_json, format_text, lint_paths
+    from repro.checks import (
+        baseline_delta,
+        format_json,
+        format_sarif,
+        format_text,
+        lint_paths,
+        lint_project,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.checks.project import find_package_dir
 
-    findings = lint_paths(args.paths)
-    if args.format == "json":
-        print(format_json(findings))
+    if args.project:
+        if len(args.paths) != 1:
+            print("error: --project takes exactly one path (the package "
+                  "or its src/ directory)", file=sys.stderr)
+            return 2
+        package_dir = find_package_dir(args.paths[0])
+        findings = lint_project(package_dir)
     else:
-        print(format_text(findings))
-    return 1 if findings else 0
+        findings = lint_paths(args.paths)
+    repo_root = os.getcwd()
+
+    if args.update_baseline:
+        write_baseline(args.baseline, findings, repo_root)
+        print(f"baseline: {len(findings)} finding(s) recorded in "
+              f"{args.baseline}")
+        return 0
+
+    gating = findings
+    if args.ratchet:
+        gating = baseline_delta(findings, load_baseline(args.baseline),
+                                repo_root)
+    if args.format == "sarif":
+        print(format_sarif(gating, repo_root))
+    elif args.format == "json":
+        print(format_json(gating))
+    else:
+        print(format_text(gating))
+        if args.ratchet and len(findings) != len(gating):
+            print(f"(ratchet: {len(findings) - len(gating)} baselined "
+                  "finding(s) tolerated)", file=sys.stderr)
+    return 1 if gating else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

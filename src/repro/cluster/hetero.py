@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
 from repro.cluster.node import GPUS_PER_NODE, Node
-from repro.cluster.placement import _best_fit_single_node
+from repro.cluster.placement import best_fit_single_node
 
 
 @dataclass(frozen=True)
@@ -125,7 +125,7 @@ def find_consolidated_typed(cluster: Cluster, gpu_num: int,
     for speed in ordered_speeds:
         tier_nodes = tiers[speed]
         if gpu_num <= cluster.gpus_per_node:
-            found = _best_fit_single_node(tier_nodes, gpu_num)
+            found = best_fit_single_node(tier_nodes, gpu_num)
             if found is not None:
                 return found
             continue
@@ -172,7 +172,7 @@ def find_tolerant_placement(cluster: Cluster, gpu_num: int,
 
     def place_in(tier_nodes: List[Node]) -> Optional[List[GPU]]:
         if gpu_num <= cluster.gpus_per_node:
-            return _best_fit_single_node(tier_nodes, gpu_num)
+            return best_fit_single_node(tier_nodes, gpu_num)
         return _multi_node_same_tier(tier_nodes, gpu_num,
                                      cluster.gpus_per_node)
 
@@ -199,7 +199,7 @@ def _multi_node_same_tier(nodes: Sequence[Node], gpu_num: int,
         return chosen
     used = {n.node_id for n in empty[:full]}
     rest = [n for n in nodes if n.node_id not in used]
-    tail = _best_fit_single_node(rest, remainder)
+    tail = best_fit_single_node(rest, remainder)
     if tail is None:
         return None
     return chosen + tail

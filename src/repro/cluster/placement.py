@@ -40,11 +40,11 @@ def find_consolidated(cluster: Cluster, gpu_num: int,
     nodes = [n for n in cluster.nodes_of(vc)
              if not n.gpus or n.gpus[0].memory_mb >= min_memory_mb]
     if gpu_num <= cluster.gpus_per_node:
-        return _best_fit_single_node(nodes, gpu_num)
+        return best_fit_single_node(nodes, gpu_num)
     return _multi_node(nodes, gpu_num, cluster.gpus_per_node)
 
 
-def _best_fit_single_node(nodes: Sequence[Node], gpu_num: int
+def best_fit_single_node(nodes: Sequence[Node], gpu_num: int
                           ) -> Optional[List[GPU]]:
     best: Optional[Node] = None
     for node in nodes:
@@ -71,7 +71,7 @@ def _multi_node(nodes: Sequence[Node], gpu_num: int, gpus_per_node: int
         return chosen
     used_ids = {n.node_id for n in empty[:full_nodes_needed]}
     rest = [n for n in nodes if n.node_id not in used_ids]
-    tail = _best_fit_single_node(rest, remainder)
+    tail = best_fit_single_node(rest, remainder)
     if tail is None:
         return None
     return chosen + tail
@@ -90,7 +90,7 @@ def find_relaxed(cluster: Cluster, gpu_num: int,
     """
     eligible = [n for n in cluster.nodes_of(vc)
                 if not n.gpus or n.gpus[0].memory_mb >= min_memory_mb]
-    nodes = sorted(eligible, key=lambda n: -n.n_free_gpus)
+    nodes = sorted(eligible, key=lambda n: -n.n_free_gpus)  # repro: noqa RPR121 — placement policy: most-free-first order is semantic
     chosen: List[GPU] = []
     for node in nodes:
         for gpu in node.free_gpus:

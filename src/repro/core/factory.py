@@ -1,0 +1,54 @@
+"""Scheduler factory: instantiate any scheduler of the evaluation by name.
+
+Lives in ``core`` (the top of the library layering DAG — ``core`` may
+depend on ``schedulers``) so that subsystems like ``serve`` can build
+schedulers without umbrella-importing the top-level ``repro`` package.
+``repro.make_scheduler`` re-exports this function unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["make_scheduler"]
+
+
+def make_scheduler(name: str, history: Sequence[Any], **kwargs: Any) -> Any:
+    """Instantiate a scheduler by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``fifo``, ``sjf``, ``qssf``, ``tiresias``, ``horus``,
+        ``lucid``.
+    history:
+        Historical jobs (required by the learned schedulers; ignored by
+        the others).
+    kwargs:
+        Forwarded to the scheduler constructor (e.g. ``config=`` for
+        Lucid).
+    """
+    # Lazy: pulling in every scheduler (and Lucid's model stack) is too
+    # heavy for module import time.
+    from repro.core.lucid import LucidScheduler
+    from repro.schedulers import (
+        FIFOScheduler,
+        HorusScheduler,
+        QSSFScheduler,
+        SJFScheduler,
+        TiresiasScheduler,
+    )
+
+    factories = {
+        "fifo": lambda: FIFOScheduler(**kwargs),
+        "sjf": lambda: SJFScheduler(**kwargs),
+        "qssf": lambda: QSSFScheduler(history, **kwargs),
+        "tiresias": lambda: TiresiasScheduler(**kwargs),
+        "horus": lambda: HorusScheduler(history, **kwargs),
+        "lucid": lambda: LucidScheduler(history, **kwargs),
+    }
+    try:
+        return factories[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown scheduler {name!r}; "
+                       f"known: {sorted(factories)}") from None

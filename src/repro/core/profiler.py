@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import GPUS_PER_NODE
-from repro.cluster.placement import _best_fit_single_node
+from repro.cluster.placement import best_fit_single_node
 from repro.workloads.job import Job
 from repro.workloads.model_zoo import ResourceProfile
 
@@ -108,7 +108,7 @@ class NonIntrusiveProfiler:
         if not nodes:
             return started  # profiler cluster is down (fault injection)
         for job in self._ordered_queue():
-            gpus = _best_fit_single_node(nodes, job.gpu_num)
+            gpus = best_fit_single_node(nodes, job.gpu_num)
             if gpus is None:
                 # Space-aware: the queue is GPU-ascending, so nothing later
                 # fits either.  Naive: strict FIFO head-of-line blocking,

@@ -216,11 +216,15 @@ def cluster_job_names(names: Sequence[str],
     ap = AffinityPropagation().fit(sim)
     mapping = {name: int(label) for name, label in zip(core, ap.labels_)}
     exemplars = [core[i] for i in ap.exemplars_]
+    ex_lens = [len(e) for e in exemplars]
     for name in unique:
         if name in mapping:
             continue
-        longer = [max(len(name), len(e), 1) for e in exemplars]
-        distances = [levenshtein(name, e) / l
-                     for e, l in zip(exemplars, longer)]
-        mapping[name] = int(np.argmin(distances))
+        best, best_dist = 0, float("inf")
+        for pos, (exemplar, ex_len) in enumerate(zip(exemplars, ex_lens)):
+            dist = levenshtein(name, exemplar) \
+                / max(len(name), ex_len, 1)
+            if dist < best_dist:
+                best, best_dist = pos, dist
+        mapping[name] = best
     return mapping

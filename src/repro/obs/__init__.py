@@ -16,8 +16,6 @@ that makes the reproduction observable end to end:
   pass, hot-path counters, events/sec, peak RSS.
 * :mod:`repro.obs.series` — fixed-interval cluster time series
   (``Simulator(series=...)``) with CSV/JSON export.
-* :mod:`repro.obs.bench` — the ``repro bench`` perf harness: seeded
-  scenario matrix, ``BENCH_*.json`` files, regression diffing.
 * :mod:`repro.obs.report` — the ``repro report`` generator: one
   self-contained HTML page (inline CSS/SVG, no external assets) plus a
   machine-readable ``report.json`` twin per run.
@@ -41,15 +39,6 @@ from repro.obs.audit import (
     DecisionAudit,
     PlacementDecision,
     RefitRecord,
-)
-from repro.obs.bench import (
-    BENCH_SCHEMA,
-    BenchScenario,
-    diff_bench,
-    load_bench,
-    run_bench,
-    validate_bench,
-    write_bench,
 )
 from repro.obs.logutil import LOG_LEVELS, configure_logging, get_logger
 from repro.obs.metrics import (
@@ -96,13 +85,6 @@ __all__ = [
     "render_html",
     "validate_report",
     "write_report",
-    "BENCH_SCHEMA",
-    "BenchScenario",
-    "diff_bench",
-    "load_bench",
-    "run_bench",
-    "validate_bench",
-    "write_bench",
     "NULL_SPAN",
     "SimProfiler",
     "peak_rss_mb",

@@ -7,7 +7,7 @@ measure *itself*.  :class:`SimProfiler` is that instrument: attached via
 kind and per scheduler pass, counts hot-path invocations (binder mate
 searches, speed refreshes, estimator predictions, sanitizer sweeps),
 and derives throughput (dispatched events per wall second) plus the
-process peak RSS.  The ``repro bench`` harness (:mod:`repro.obs.bench`)
+process peak RSS.  The ``repro bench`` harness (:mod:`repro.bench`)
 builds its ``BENCH_*.json`` trajectory on these numbers.
 
 The contract mirrors the tracer's and the sanitizer's:
@@ -214,16 +214,16 @@ class SimProfiler:
             "event_kinds": {
                 kind: {"count": self.event_counts.get(kind, 0),
                        "seconds": seconds}
-                for kind, seconds in sorted(self.event_seconds.items())
+                for kind, seconds in sorted(self.event_seconds.items())  # repro: noqa RPR121 — canonical report ordering
             },
             "schedule_passes": {"count": self.pass_count,
                                 "seconds": self.pass_seconds},
             "spans": {
                 name: {"count": self.span_counts.get(name, 0),
                        "seconds": seconds}
-                for name, seconds in sorted(self.span_seconds.items())
+                for name, seconds in sorted(self.span_seconds.items())  # repro: noqa RPR121 — canonical report ordering
             },
-            "counters": dict(sorted(self.counters.items())),
+            "counters": dict(sorted(self.counters.items())),  # repro: noqa RPR121 — canonical report ordering
         }
 
     def report_json(self) -> str:

@@ -11,7 +11,7 @@ module distills them into a single pair of files:
   ``repro-report/v1`` schema, so dashboards and CI diff tooling never
   have to scrape the HTML.
 
-Like :mod:`repro.obs.bench`, this module only *consumes* finished
+Like :mod:`repro.bench`, this module only *consumes* finished
 simulations; it lives outside the simulation packages, so its wall-clock
 reads (the ``created`` stamp) are outside RPR002's scope.  Both files are
 written atomically (write-to-temp then rename) via

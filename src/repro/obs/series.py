@@ -83,7 +83,7 @@ class SeriesSample:
             "running_jobs": self.running_jobs,
             "pending_jobs": self.pending_jobs,
         }
-        for vc, depth in sorted(self.queue_by_vc.items()):
+        for vc, depth in sorted(self.queue_by_vc.items()):  # repro: noqa RPR121 — canonical column ordering
             out[f"queue_{vc}"] = depth
         return out
 

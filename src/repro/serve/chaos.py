@@ -43,9 +43,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro import TraceGenerator, get_spec
 from repro.obs.ioutil import atomic_write_text
 from repro.obs.logutil import get_logger
+from repro.traces.generator import TraceGenerator
+from repro.traces.spec import get_spec
 from repro.serve.config import ServeConfig
 from repro.serve.core import SimCore
 from repro.serve.jobspec import job_to_spec

@@ -215,7 +215,6 @@ class ServeDaemon:
             rec = self._tick_record(core.tick + 1, items)
             self.wal.append(rec)  # write-ahead: durable before applied
             dispositions = apply_tick_record(core, rec)
-            core.tick += 1
             self.wal.append({"kind": "commit", "tick": core.tick,
                              "digest": core.digest(),
                              "now": core.sim.now,

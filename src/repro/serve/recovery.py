@@ -146,7 +146,6 @@ def recover(store: Store, wal: WriteAheadLog,
         elif record.kind == "commit":
             _verify(core, str(record.rec["digest"]),
                     f"commit of tick {record.rec['tick']}")
-            core.tick = int(record.rec["tick"])
             pending_tick = None
         # "genesis" / "snapshot" markers carry no state transition.
 
@@ -154,9 +153,8 @@ def recover(store: Store, wal: WriteAheadLog,
     recommitted = False
     if pending_tick is not None:
         # Crash landed between the tick journal and its commit; the
-        # deterministic re-application above already rebuilt the state,
-        # so commit it now.
-        core.tick = int(pending_tick["tick"])
+        # deterministic re-application above already rebuilt the state
+        # (including ``core.tick``), so commit it now.
         wal.append({"kind": "commit", "tick": core.tick,
                     "digest": core.digest(),
                     "now": core.sim.now,
@@ -178,7 +176,9 @@ def apply_tick_record(core: SimCore,
 
     The *only* code path that mutates core state from a tick record —
     the live daemon and WAL replay both call it, so what recovery
-    re-applies is by construction what the daemon originally did.
+    re-applies is by construction what the daemon originally did.  That
+    includes ``core.tick``: the record's own tick number is the single
+    source of truth, so neither caller touches the counter itself.
     Returns the admission dispositions (deterministic).
     """
     specs = rec.get("specs", [])
@@ -187,4 +187,5 @@ def apply_tick_record(core: SimCore,
     for name in rec.get("skipped", []):
         core.consumed.add(str(name))
     core.advance()
+    core.tick = int(rec["tick"])
     return dispositions

@@ -154,7 +154,7 @@ class WriteAheadLog:
         name = segment_name(tick)
         path = os.path.join(self.wal_dir, name)
         existed = os.path.exists(path)
-        self._handle = open(path, "a")  # repro: noqa RPR009 (append-only journal)
+        self._handle = open(path, "a")  # append-only journal
         self._active = name
         self._next_seq = next_seq
         if not existed and self.durable:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
@@ -193,16 +193,35 @@ class Simulator:
         """GPUs a running job occupies."""
         return list(self.run_states[job.job_id].gpus)
 
-    def mates_of(self, job: Job) -> List[Job]:
-        """Jobs colocated with ``job`` on its GPU set."""
+    def mate_ids(self, job: Job) -> Set[int]:
+        """Ids of jobs colocated with ``job`` on its GPU set."""
         state = self.run_states.get(job.job_id)
         if state is None:
-            return []
-        mate_ids = set()
+            return set()
+        ids: Set[int] = set()
         for gpu in state.gpus:
-            mate_ids.update(gpu.residents)
-        mate_ids.discard(job.job_id)
-        return [self.jobs[mid] for mid in sorted(mate_ids)]
+            ids.update(gpu.residents)
+        ids.discard(job.job_id)
+        return ids
+
+    def has_mates(self, job: Job) -> bool:
+        """Whether ``job`` shares any GPU with another job.
+
+        Allocation-light emptiness probe for hot callers (the binder
+        and scheduler paths only need the boolean).
+        """
+        state = self.run_states.get(job.job_id)
+        if state is None:
+            return False
+        return any(len(gpu.residents) > 1 for gpu in state.gpus)
+
+    def mates_of(self, job: Job) -> List[Job]:
+        """Jobs colocated with ``job`` on its GPU set (id-sorted).
+
+        Hot callers that only need emptiness or ids should use
+        :meth:`has_mates` / :meth:`mate_ids` — this variant allocates.
+        """
+        return [self.jobs[mid] for mid in sorted(self.mate_ids(job))]  # repro: noqa RPR121 — id-sorted order is the API contract
 
     def start_job(self, job: Job, gpus: Sequence[GPU],
                   time_limit: Optional[float] = None,
@@ -580,15 +599,21 @@ class Simulator:
     FRAGMENTATION_PENALTY = 0.85
 
     def _current_speed(self, job: Job, state: RunState) -> float:
-        mates = self.mates_of(job)
-        if not mates:
+        # The two common cases (running alone / one colocation mate —
+        # the binder never packs more than two per GPU set) take the
+        # allocation-free path; k-way sharing only arises under other
+        # schedulers' packings.
+        ids = self.mate_ids(job)
+        if not ids:
             speed = 1.0
-        elif len(mates) == 1:
-            mate = mates[0]
+        elif len(ids) == 1:
+            mate = self.jobs[next(iter(ids))]
             speed = self.interference.pair_speeds(
                 job.profile, mate.profile,
                 pair_key=(job.name, mate.name)).first
         else:
+            # Id-sorted so the k-way float reduction is order-stable.
+            mates = [self.jobs[mid] for mid in sorted(ids)]  # repro: noqa RPR121 — rare branch; sort pins float order
             profiles = [job.profile] + [m.profile for m in mates]
             speed = self.interference.k_way_speed(profiles)
         # Fragmented multi-node placement pays a communication penalty.
@@ -614,7 +639,7 @@ class Simulator:
         compute-bound ones barely notice).
         """
         worst = 1.0
-        for node_id in sorted({gpu.node_id for gpu in state.gpus}):
+        for node_id in sorted({gpu.node_id for gpu in state.gpus}):  # repro: noqa RPR121 — pins float accumulation order
             node_obj = self._node_index.get(node_id)
             if node_obj is None:
                 continue  # profiler-cluster nodes are not CPU-modelled
@@ -626,7 +651,7 @@ class Simulator:
             residents = set()
             for gpu in node_obj.gpus:
                 residents.update(gpu.residents)
-            for rid in sorted(residents):
+            for rid in sorted(residents):  # repro: noqa RPR121 — pins float accumulation order
                 resident = self.jobs[rid]
                 r_state = self.run_states.get(rid)
                 if r_state is None:
@@ -653,7 +678,7 @@ class Simulator:
             self.profiler.count("speed_refreshes")
         affected = set()
         if self.model_cpu:
-            for node_id in sorted({gpu.node_id for gpu in gpus}):
+            for node_id in sorted({gpu.node_id for gpu in gpus}):  # repro: noqa RPR121 — RPR003 wants ordered set iteration here
                 node = self._node_index.get(node_id)
                 if node is None:
                     continue
@@ -664,7 +689,7 @@ class Simulator:
         # Sorted so simultaneous FINISH events are (re)armed in job-id
         # order — their heap tie-break sequence numbers, and therefore the
         # dispatch order, must not depend on set iteration order.
-        for jid in sorted(affected):
+        for jid in sorted(affected):  # repro: noqa RPR121 — FINISH re-arm order must be id-deterministic
             state = self.run_states.get(jid)
             if state is None:
                 continue

@@ -58,7 +58,8 @@ def fitted_curve(accumulated_util: float) -> float:
 
 def _pair_hash(a: str, b: str) -> float:
     """Deterministic pseudo-random value in [0, 1) for an unordered pair."""
-    key = "|".join(sorted((a, b))).encode()
+    # Canonical order via a single comparison — no list/sort per call.
+    key = (a + "|" + b if a <= b else b + "|" + a).encode()
     digest = hashlib.sha256(key).digest()
     return int.from_bytes(digest[:8], "big") / 2**64
 

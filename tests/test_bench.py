@@ -1,11 +1,11 @@
-"""Tests for the ``repro bench`` perf harness (repro.obs.bench)."""
+"""Tests for the ``repro bench`` perf harness (repro.bench)."""
 
 import copy
 import json
 
 import pytest
 
-from repro.obs.bench import (
+from repro.bench import (
     BENCH_SCHEMA,
     BenchScenario,
     bench_filename,
@@ -139,7 +139,7 @@ class TestCommittedBaseline:
         assert document["quick"] is True
         keys = {(s["scheduler"], s["trace"], s["jobs"], s["seed"])
                 for s in document["scenarios"]}
-        from repro.obs.bench import QUICK_MATRIX
+        from repro.bench import QUICK_MATRIX
         assert keys == {s.key for s in QUICK_MATRIX}
 
 

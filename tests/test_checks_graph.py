@@ -1,0 +1,250 @@
+"""Tests for the whole-program index (repro.checks.graph).
+
+Synthetic mini-packages exercise import classification, cycle
+detection, call resolution (including attribute calls through
+constructor-inferred types) and loop-carried reachability; a
+hypothesis property pins the index's independence from file ordering.
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from hypothesis import given, settings, strategies as st
+
+from repro.checks import build_index
+from repro.checks.graph import MODULE_SCOPE
+
+
+def write_pkg(root, files):
+    """Materialize ``{relpath: source}`` as a package under ``root``."""
+    pkg = os.path.join(str(root), "pkg")
+    paths = {}
+    for rel, source in files.items():
+        full = os.path.join(pkg, rel)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w", encoding="utf-8") as handle:
+            handle.write(textwrap.dedent(source))
+        paths[rel] = full
+    for sub in {os.path.dirname(rel) for rel in files} | {""}:
+        init = os.path.join(pkg, sub, "__init__.py")
+        if not os.path.exists(init):
+            os.makedirs(os.path.dirname(init), exist_ok=True)
+            with open(init, "w", encoding="utf-8"):
+                pass
+    return pkg
+
+
+class TestImportGraph:
+    def test_edge_classification(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": """\
+                from typing import TYPE_CHECKING
+                import pkg.b
+                if TYPE_CHECKING:
+                    import pkg.c
+
+                def f():
+                    import pkg.d
+            """,
+            "b.py": "",
+            "c.py": "",
+            "d.py": "",
+        })
+        index = build_index(pkg)
+        strict = index.import_graph()
+        assert strict["pkg.a"] == {"pkg.b"}
+        lazy = index.import_graph(include_lazy=True)
+        assert lazy["pkg.a"] == {"pkg.b", "pkg.d"}
+        full = index.import_graph(include_lazy=True,
+                                  include_type_checking=True)
+        assert full["pkg.a"] == {"pkg.b", "pkg.c", "pkg.d"}
+
+    def test_from_import_resolves_to_submodule(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "sub/mod.py": "X = 1\n",
+            "user.py": "from pkg.sub import mod\n",
+        })
+        index = build_index(pkg)
+        assert index.import_graph()["pkg.user"] == {"pkg.sub.mod"}
+
+    def test_cycle_detection(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": "import pkg.b\n",
+            "b.py": "import pkg.a\n",
+            "c.py": "import pkg.a\n",
+        })
+        cycles = build_index(pkg).find_cycles()
+        assert cycles == [["pkg.a", "pkg.b"]]
+
+    def test_acyclic_tree_has_no_cycles(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": "import pkg.b\n",
+            "b.py": "import pkg.c\n",
+            "c.py": "",
+        })
+        assert build_index(pkg).find_cycles() == []
+
+    def test_lazy_edge_breaks_cycle(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "a.py": "import pkg.b\n",
+            "b.py": "def f():\n    import pkg.a\n",
+        })
+        index = build_index(pkg)
+        assert index.find_cycles() == []
+        assert index.import_graph(include_lazy=True)["pkg.b"] == {"pkg.a"}
+
+    def test_syntax_error_is_recorded_not_fatal(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "ok.py": "def f():\n    return 1\n",
+            "bad.py": "def broken(:\n",
+        })
+        index = build_index(pkg)
+        assert index.modules["pkg.bad"].error is not None
+        line, _col, message = index.modules["pkg.bad"].error
+        assert line == 1 and message
+        # The good module is still fully indexed.
+        assert "pkg.ok.f" in index.functions
+
+
+class TestCallGraph:
+    def test_direct_and_imported_calls(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "lib.py": """\
+                def helper():
+                    return 1
+
+                def wrapper():
+                    return helper()
+            """,
+            "user.py": """\
+                from pkg.lib import wrapper
+
+                def top():
+                    return wrapper()
+            """,
+        })
+        index = build_index(pkg)
+        reach = index.reachable(["pkg.user.top"])
+        assert {"pkg.user.top", "pkg.lib.wrapper",
+                "pkg.lib.helper"} <= reach
+
+    def test_attr_call_through_constructor_type(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "engine.py": """\
+                class Engine:
+                    def step(self):
+                        return 1
+            """,
+            "driver.py": """\
+                from pkg.engine import Engine
+
+                class Driver:
+                    def __init__(self):
+                        self.engine = Engine()
+
+                    def run(self):
+                        return self.engine.step()
+            """,
+        })
+        index = build_index(pkg)
+        reach = index.reachable(["pkg.driver.Driver.run"])
+        assert "pkg.engine.Engine.step" in reach
+
+    def test_loop_reachability_carries_through_helpers(self, tmp_path):
+        pkg = write_pkg(tmp_path, {
+            "hot.py": """\
+                def leaf():
+                    return 1
+
+                def looped():
+                    return leaf()
+
+                def straight():
+                    return 2
+
+                def root():
+                    for _ in range(3):
+                        looped()
+                    return straight()
+            """,
+        })
+        index = build_index(pkg)
+        hot = index.loop_reachable(["pkg.hot.root"])
+        assert hot["pkg.hot.root"] is False
+        assert hot["pkg.hot.looped"] is True
+        assert hot["pkg.hot.leaf"] is True      # carried through looped()
+        assert hot["pkg.hot.straight"] is False
+
+    def test_comprehension_first_iter_is_not_in_loop(self, tmp_path):
+        # [f(x) for x in g()]: g runs once (outside the implicit loop),
+        # f runs per element.
+        pkg = write_pkg(tmp_path, {
+            "comp.py": """\
+                def g():
+                    return [1]
+
+                def f(x):
+                    return x
+
+                def root():
+                    return [f(x) for x in g()]
+            """,
+        })
+        hot = build_index(pkg).loop_reachable(["pkg.comp.root"])
+        assert hot["pkg.comp.g"] is False
+        assert hot["pkg.comp.f"] is True
+
+
+class TestOrderStability:
+    FILES = {
+        "a.py": """\
+            import pkg.b
+
+            def fa():
+                return pkg.b.fb()
+        """,
+        "b.py": """\
+            def fb():
+                return 1
+
+            def unused():
+                for _ in range(2):
+                    fb()
+        """,
+        "c.py": """\
+            from pkg.a import fa
+
+            class C:
+                def m(self):
+                    return fa()
+        """,
+        "d.py": "from pkg import c\n",
+    }
+
+    @staticmethod
+    def snapshot(index):
+        """Canonical, order-insensitive rendering of the whole index."""
+        imports = {m: sorted(dests) for m, dests in
+                   index.import_graph(include_lazy=True,
+                                      include_type_checking=True).items()}
+        edges = {caller: [(callee, site.line, site.col)
+                          for callee, site in pairs]
+                 for caller, pairs in index.call_edges().items()}
+        return (sorted(index.modules), imports, sorted(index.functions),
+                sorted(index.classes), edges, index.find_cycles())
+
+    @given(perm=st.permutations(sorted(FILES)))
+    @settings(max_examples=20, deadline=None)
+    def test_index_is_stable_under_file_ordering(self, perm, tmp_path_factory):
+        root = tmp_path_factory.mktemp("order")
+        pkg = write_pkg(root, self.FILES)
+        baseline = self.snapshot(build_index(pkg))
+        shuffled = [os.path.join(pkg, name) for name in perm]
+        shuffled.append(os.path.join(pkg, "__init__.py"))
+        assert self.snapshot(build_index(pkg, files=shuffled)) == baseline
+
+    def test_module_scope_constant_exported(self):
+        # Rule packs key module-level pseudo-functions off this marker.
+        assert isinstance(MODULE_SCOPE, str) and MODULE_SCOPE

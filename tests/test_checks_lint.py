@@ -496,13 +496,17 @@ class TestRPR009RawStateWrites:
         """, path=UTIL_PATH)
         assert found == []
 
-    def test_ioutil_helper_is_allowlisted(self):
+    def test_ioutil_helper_no_blanket_exemption(self):
+        # ioutil.py used to carry a whole-file RPR009 exemption; the real
+        # helper's tmp-file + os.replace idiom passes the rule on its
+        # own, so the dead allowlist entry was removed (RPR130).  A
+        # truncating write without the rename is flagged even here.
         found = lint("""\
             def atomic_write_text(path, text):
                 with open(path + ".tmp", "w") as handle:
                     handle.write(text)
         """, path=os.path.join("src", "repro", "obs", "ioutil.py"))
-        assert found == []
+        assert [f.code for f in found] == ["RPR009"]
 
     def test_noqa_escape(self):
         found = lint("""\

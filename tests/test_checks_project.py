@@ -1,0 +1,299 @@
+"""End-to-end tests for ``repro lint --project`` (repro.checks.project).
+
+Covers: the real tree lints clean; seeded regressions each produce
+exactly the expected RPR1xx finding (layering, replay-safety,
+hot-path); SARIF 2.1.0 structural validity; the ratchet failing on an
+injected violation; RPR130 unused-suppression detection; and the CLI's
+parse-failure behavior (RPR000, exit 1, no traceback).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import textwrap
+
+import pytest
+
+from repro.checks import (
+    baseline_delta,
+    format_sarif,
+    lint_project,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.project import BASELINE_SCHEMA, find_package_dir
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture()
+def tree_copy(tmp_path):
+    """A disposable copy of the real project tree (src + configs)."""
+    root = repo_root()
+    shutil.copytree(os.path.join(root, "src", "repro"),
+                    tmp_path / "src" / "repro")
+    shutil.copy(os.path.join(root, "pyproject.toml"),
+                tmp_path / "pyproject.toml")
+    bench = os.path.join(root, "benchmarks", "results",
+                         "bench_baseline.json")
+    os.makedirs(tmp_path / "benchmarks" / "results")
+    shutil.copy(bench, tmp_path / "benchmarks" / "results"
+                / "bench_baseline.json")
+    return tmp_path
+
+
+def inject(tree, rel, marker, addition):
+    """Insert ``addition`` right after the line containing ``marker``."""
+    path = os.path.join(str(tree), rel)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for pos, line in enumerate(lines):
+        if marker in line:
+            lines[pos + 1:pos + 1] = [addition if addition.endswith("\n")
+                                      else addition + "\n"]
+            break
+    else:
+        raise AssertionError(f"marker {marker!r} not found in {rel}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+
+
+class TestRealTree:
+    def test_project_lint_is_clean(self):
+        findings = lint_project(os.path.join(repo_root(), "src", "repro"))
+        assert findings == [], "\n".join(
+            f"{f.code} {f.path}:{f.line} {f.message}" for f in findings)
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(os.path.join(
+            repo_root(), "benchmarks", "lint_baseline.json"))
+        assert baseline == {}
+
+    def test_find_package_dir_src_layout(self):
+        src = os.path.join(repo_root(), "src")
+        assert find_package_dir(src) == os.path.join(src, "repro")
+        assert find_package_dir(os.path.join(src, "repro")) \
+            == os.path.join(src, "repro")
+
+
+class TestSeededRegressions:
+    """Each canonical violation must surface as exactly its rule."""
+
+    def lint(self, tree):
+        return lint_project(str(tree / "src" / "repro"))
+
+    def test_sim_to_serve_import_is_layering_violation(self, tree_copy):
+        inject(tree_copy, "src/repro/sim/engine.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        findings = self.lint(tree_copy)
+        # The edge violates the layering DAG (RPR101, via both the
+        # forbidden list and the allowed list) and — because serve
+        # already imports sim — closes an import cycle (RPR100).
+        assert findings and {f.code for f in findings} <= {"RPR100",
+                                                           "RPR101"}
+        rpr101 = [f for f in findings if f.code == "RPR101"]
+        assert rpr101 and all(f.path.endswith("sim/engine.py")
+                              and "serve" in f.message for f in rpr101)
+
+    def test_simcore_mutation_bypassing_apply_tick_record(self, tree_copy):
+        inject(tree_copy, "src/repro/serve/daemon.py",
+               "dispositions = apply_tick_record(core, rec)",
+               "            core.tick += 1")
+        findings = self.lint(tree_copy)
+        assert [f.code for f in findings] == ["RPR110"]
+        assert findings[0].path.endswith("serve/daemon.py")
+        assert "tick" in findings[0].message
+
+    def test_deepcopy_in_hot_span_function(self, tree_copy):
+        # LucidScheduler.schedule wraps its work in the profiled
+        # "lucid.control" span, so it is a hot root by construction.
+        inject(tree_copy, "src/repro/core/lucid.py",
+               'with self.profile_span("lucid.control"):',
+               "                _ = __import__('copy').deepcopy(self.config)")
+        findings = self.lint(tree_copy)
+        assert "RPR120" in [f.code for f in findings]
+        rpr120 = [f for f in findings if f.code == "RPR120"]
+        assert rpr120[0].path.endswith("core/lucid.py")
+
+    def test_event_kind_without_coverage_story(self, tree_copy):
+        inject(tree_copy, "src/repro/sim/events.py",
+               'RETRY = "retry"',
+               '    BACKFILL = "backfill"')
+        findings = self.lint(tree_copy)
+        assert "RPR111" in [f.code for f in findings]
+        rpr111 = [f for f in findings if f.code == "RPR111"]
+        assert any("backfill" in f.message for f in rpr111)
+
+
+class TestRatchet:
+    def test_ratchet_fails_on_injected_violation(self, tree_copy):
+        pkg = str(tree_copy / "src" / "repro")
+        root = str(tree_copy)
+        baseline_path = str(tree_copy / "lint_baseline.json")
+        write_baseline(baseline_path, lint_project(pkg), root)
+        data = json.load(open(baseline_path))
+        assert data["schema"] == BASELINE_SCHEMA
+        assert data["fingerprints"] == {}
+
+        inject(tree_copy, "src/repro/sim/engine.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        fresh = baseline_delta(lint_project(pkg),
+                               load_baseline(baseline_path), root)
+        assert fresh and {f.code for f in fresh} <= {"RPR100", "RPR101"}
+        assert "RPR101" in {f.code for f in fresh}
+
+    def test_baselined_debt_is_tolerated_until_it_grows(self, tree_copy):
+        pkg = str(tree_copy / "src" / "repro")
+        root = str(tree_copy)
+        baseline_path = str(tree_copy / "lint_baseline.json")
+        inject(tree_copy, "src/repro/sim/engine.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        dirty = lint_project(pkg)
+        assert dirty
+        write_baseline(baseline_path, dirty, root)
+        # Same debt: the ratchet passes.
+        assert baseline_delta(lint_project(pkg),
+                              load_baseline(baseline_path), root) == []
+        # New debt on top: only the new finding fails the ratchet.
+        inject(tree_copy, "src/repro/cluster/placement.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        fresh = baseline_delta(lint_project(pkg),
+                               load_baseline(baseline_path), root)
+        assert fresh and {f.code for f in fresh} == {"RPR101"}
+        assert all(f.path.endswith("cluster/placement.py")
+                   for f in fresh)
+
+
+class TestSarif:
+    def test_sarif_is_structurally_valid(self, tree_copy):
+        inject(tree_copy, "src/repro/sim/engine.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        findings = lint_project(str(tree_copy / "src" / "repro"))
+        document = json.loads(format_sarif(findings, str(tree_copy)))
+
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].startswith("https://")
+        assert len(document["runs"]) == 1
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["help"]["text"]
+            assert rule["defaultConfiguration"]["level"] == "error"
+        assert len(run["results"]) == len(findings)
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            uri = location["artifactLocation"]["uri"]
+            assert not uri.startswith("/") and "\\" not in uri
+            assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            region = location["region"]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+
+    def test_empty_sarif_still_valid(self):
+        document = json.loads(format_sarif([], repo_root()))
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"] == []
+
+
+class TestUnusedSuppressions:
+    def build(self, tmp_path, files):
+        pkg = tmp_path / "pkg"
+        for rel, source in files.items():
+            full = pkg / rel
+            full.parent.mkdir(parents=True, exist_ok=True)
+            full.write_text(textwrap.dedent(source))
+        for sub in {os.path.dirname(rel) for rel in files} | {""}:
+            init = pkg / sub / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        return lint_project(str(pkg), repo_root=str(tmp_path))
+
+    def test_dead_noqa_is_flagged(self, tmp_path):
+        findings = self.build(tmp_path, {
+            "sim/clock.py": """\
+                def pure(x):
+                    return x + 1  # repro: noqa RPR002
+            """,
+        })
+        assert [f.code for f in findings] == ["RPR130"]
+        assert "noqa" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_live_noqa_is_not_flagged(self, tmp_path):
+        findings = self.build(tmp_path, {
+            "sim/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()  # repro: noqa RPR002
+            """,
+        })
+        assert findings == []
+
+    def test_unsuppressed_violation_still_fires(self, tmp_path):
+        findings = self.build(tmp_path, {
+            "sim/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        })
+        assert [f.code for f in findings] == ["RPR002"]
+
+
+class TestCli:
+    def test_syntax_error_file_exits_one_with_rpr000(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        code = main(["lint", str(bad)])
+        out = capsys.readouterr()
+        assert code == 1
+        assert "RPR000" in out.out
+        assert str(bad) in out.out
+        assert "Traceback" not in out.out + out.err
+
+    def test_project_mode_end_to_end(self, tree_copy, capsys):
+        from repro.cli import main
+        src = str(tree_copy / "src")
+        baseline = str(tree_copy / "lint_baseline.json")
+        assert main(["lint", "--project", src]) == 0
+        assert main(["lint", "--project", src, "--update-baseline",
+                     "--baseline", baseline]) == 0
+        inject(tree_copy, "src/repro/sim/engine.py",
+               "from __future__ import annotations",
+               "from repro.serve.core import SimCore as _Smuggled")
+        code = main(["lint", "--project", src, "--ratchet",
+                     "--baseline", baseline])
+        out = capsys.readouterr()
+        assert code == 1
+        assert "RPR101" in out.out
+
+    def test_project_mode_sarif_output(self, capsys):
+        from repro.cli import main
+        code = main(["lint", "--project", os.path.join(repo_root(), "src"),
+                     "--format", "sarif"])
+        out = capsys.readouterr()
+        assert code == 0
+        document = json.loads(out.out)
+        assert document["version"] == "2.1.0"
+
+    def test_project_mode_rejects_multiple_paths(self, capsys):
+        from repro.cli import main
+        assert main(["lint", "--project", "src", "tests"]) == 2

@@ -245,7 +245,7 @@ class TestReportCLI:
         assert code == 2
 
     def test_report_against_baseline_embeds_diff(self, tmp_path, capsys):
-        from repro.obs.bench import BenchScenario, run_bench, write_bench
+        from repro.bench import BenchScenario, run_bench, write_bench
 
         baseline = tmp_path / "baseline.json"
         write_bench(run_bench([BenchScenario("fifo", "venus", 60, 7)],
