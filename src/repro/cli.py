@@ -58,6 +58,7 @@ from typing import List, Optional, Sequence
 from repro import Simulator, TraceGenerator, get_spec, make_scheduler
 from repro.analysis import ascii_table, user_fairness
 from repro.obs import (
+    LOG_FORMATS,
     LOG_LEVELS,
     RingBufferTracer,
     configure_logging,
@@ -77,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Lucid (ASPLOS '23) reproduction toolkit")
     parser.add_argument("--log-level", default="warning", choices=LOG_LEVELS,
                         help="verbosity of the repro.* loggers")
+    parser.add_argument("--log-format", default="text",
+                        choices=LOG_FORMATS,
+                        help="log line format; 'json' emits structured "
+                             "lines carrying the correlation ids "
+                             "(tick, job_id, wal_segment)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="replay one trace/scheduler")
@@ -212,6 +218,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--exit-when-idle", action="store_true",
                        help="drain and exit once admitted work "
                             "completes (batch/CI mode)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the live telemetry plane "
+                            "(Prometheus /metrics, /dashboard, latency "
+                            "histograms); scheduling is bit-identical "
+                            "either way")
+    serve.add_argument("--telemetry-refresh", type=int, default=10,
+                       metavar="TICKS",
+                       help="publish profiler span summaries and "
+                            "WAL/store sizes every N ticks "
+                            "(default: 10)")
+
+    status = sub.add_parser(
+        "serve-status", help="scrape a running serve daemon and render "
+                             "a one-screen summary")
+    status.add_argument("--url", required=True, metavar="URL",
+                        help="daemon base URL, e.g. "
+                             "http://127.0.0.1:8080 (printed at serve "
+                             "startup)")
+    status.add_argument("--timeout", type=float, default=5.0,
+                        help="HTTP timeout in seconds (default: 5)")
+    status.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
 
     chaos = sub.add_parser(
         "serve-chaos", help="SIGKILL crash harness: prove bit-identical "
@@ -821,7 +849,9 @@ def cmd_serve(args) -> int:
                          http_port=args.http_port,
                          inbox_capacity=args.inbox_capacity,
                          durable=not args.no_fsync,
-                         exit_when_idle=args.exit_when_idle)
+                         exit_when_idle=args.exit_when_idle,
+                         telemetry=not args.no_telemetry,
+                         telemetry_refresh=args.telemetry_refresh)
     try:
         report = daemon.start()
     except ConfigMismatchError as exc:
@@ -833,13 +863,86 @@ def cmd_serve(args) -> int:
     print(report.describe())
     if daemon.http is not None:
         host, port = daemon.http.address
-        print(f"http frontend on http://{host}:{port} "
-              "(POST /submit, GET /status /metrics /healthz)")
+        surfaces = "POST /submit, GET /status /metrics /healthz"
+        if daemon.live is not None:
+            surfaces += " /dashboard"
+        print(f"http frontend on http://{host}:{port} ({surfaces})")
     daemon.install_signal_handlers()
     ticks = daemon.run_forever()
     print(f"drained cleanly after {ticks} tick(s) this boot "
           f"(service tick {daemon.core.tick})")
     return 0
+
+
+def cmd_serve_status(args) -> int:
+    """Scrape a live daemon's /metrics + /healthz; one-screen summary.
+
+    Exit codes: 0 healthy, 1 reachable-but-unhealthy (stale heartbeat
+    or degraded core), 2 unreachable.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+
+    def scrape(path):
+        request = urllib.request.Request(
+            base + path, headers={"Accept": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=args.timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as err:
+            return err.code, json.loads(err.read())
+
+    try:
+        _, metrics = scrape("/metrics")
+        health_code, health = scrape("/healthz")
+        _, status = scrape("/status")
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot scrape {base}: {exc}", file=sys.stderr)
+        return 2
+
+    healthy = health_code == 200 and bool(health.get("ok"))
+    if args.format == "json":
+        print(json.dumps({"healthy": healthy, "health": health,
+                          "metrics": metrics,
+                          "recovery": status.get("recovery")},
+                         indent=2, sort_keys=True))
+        return 0 if healthy else 1
+
+    verdict = "healthy" if healthy else (
+        "DEGRADED" if health.get("degraded") else "STALE")
+    print(f"serve @ {base}: {verdict}")
+    print(f"  recovery         {status.get('recovery')}")
+    rows = (
+        ("service tick", metrics.get("ticks")),
+        ("ticks this boot", metrics.get("ticks_this_boot")),
+        ("sim clock", f"{metrics.get('sim_now', 0.0):,.0f} s"),
+        ("events processed", f"{metrics.get('events_processed', 0):,}"),
+        ("jobs", f"{metrics.get('jobs_finished', 0)} finished / "
+                 f"{metrics.get('jobs_total', 0)} admitted"),
+        ("inbox pending", metrics.get("inbox_pending")),
+        ("snapshots", f"{metrics.get('snapshots')} "
+                      f"(newest at tick "
+                      f"{metrics.get('last_snapshot_tick')}, "
+                      f"age {metrics.get('snapshot_age_ticks')} "
+                      f"tick(s))"),
+        ("WAL", f"{metrics.get('wal_segments')} segment(s), "
+                f"{metrics.get('wal_bytes', 0):,} bytes"),
+        ("store", f"{metrics.get('store_bytes', 0):,} bytes"),
+        ("heartbeat age", f"{health.get('heartbeat_age_s')} s "
+                          f"(budget {health.get('heartbeat_budget_s')} "
+                          f"s, stale={health.get('stale')})"),
+        ("degraded", health.get("degraded") or False),
+        ("telemetry", metrics.get("telemetry")),
+    )
+    for label, value in rows:
+        print(f"  {label:<16} {value}")
+    if metrics.get("telemetry"):
+        print(f"  dashboard        {base}/dashboard")
+    return 0 if healthy else 1
 
 
 def cmd_serve_chaos(args) -> int:
@@ -906,7 +1009,7 @@ def cmd_lint(args) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    configure_logging(args.log_level)
+    configure_logging(args.log_level, fmt=args.log_format)
     handlers = {
         "simulate": cmd_simulate,
         "trace": cmd_trace,
@@ -918,6 +1021,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": cmd_report,
         "explain": cmd_explain,
         "serve": cmd_serve,
+        "serve-status": cmd_serve_status,
         "serve-chaos": cmd_serve_chaos,
     }
     # User-input errors exit with code 2 and a one-line message instead of

@@ -9,6 +9,9 @@ that makes the reproduction observable end to end:
   allocation (priority, binder verdict, sharing mode, starvation relief).
 * :mod:`repro.obs.metrics` — counters / gauges / histograms surfaced on
   :class:`~repro.sim.metrics.SimulationResult` as ``result.telemetry``.
+* :mod:`repro.obs.live` — the serve daemon's live telemetry plane:
+  labeled metric families, Prometheus text exposition, and the
+  zero-dependency ``/dashboard`` page.
 * :mod:`repro.obs.timeline` — Chrome trace-event export (per-GPU lanes
   for ``chrome://tracing`` / Perfetto).
 * :mod:`repro.obs.prof` — simulator self-profiling
@@ -40,8 +43,22 @@ from repro.obs.audit import (
     PlacementDecision,
     RefitRecord,
 )
-from repro.obs.logutil import LOG_LEVELS, configure_logging, get_logger
+from repro.obs.live import (
+    CONTENT_TYPE_PROMETHEUS,
+    DEFAULT_LATENCY_BUCKETS,
+    LiveRegistry,
+    publish_profiler,
+    render_dashboard,
+)
+from repro.obs.logutil import (
+    LOG_FORMATS,
+    LOG_LEVELS,
+    configure_logging,
+    get_logger,
+    log_context,
+)
 from repro.obs.metrics import (
+    BucketHistogram,
     Counter,
     Gauge,
     Histogram,
@@ -91,9 +108,17 @@ __all__ = [
     "SERIES_SCHEMA",
     "SeriesCollector",
     "SeriesSample",
+    "LOG_FORMATS",
     "LOG_LEVELS",
     "configure_logging",
     "get_logger",
+    "log_context",
+    "CONTENT_TYPE_PROMETHEUS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "LiveRegistry",
+    "publish_profiler",
+    "render_dashboard",
+    "BucketHistogram",
     "Counter",
     "Gauge",
     "Histogram",

@@ -6,20 +6,123 @@ Every subsystem owns a module-level logger under the ``repro.`` namespace
 ``repro`` root so the CLI's ``--log-level`` flag governs all of them at
 once without touching the global root logger (library-friendly: importing
 ``repro`` never configures logging by itself).
+
+Structured logging: ``configure_logging(fmt="json")`` switches the
+handler to :class:`JsonFormatter` — one JSON object per line with the
+level, logger name, rendered message, and every *correlation field*
+currently bound via :func:`log_context`.  Correlation fields ride in a
+:mod:`contextvars` variable, so the serve daemon can bind ``tick=17``
+once at the top of a service tick and every log record emitted below it
+(engine, WAL, recovery) carries the id without threading parameters
+through call signatures.  The context is task/thread-local and restored
+on exit, so concurrent HTTP handler threads never see each other's ids.
 """
 
 from __future__ import annotations
 
+import contextvars
+import json
 import logging
 import sys
-from typing import IO, Optional, Union
+from contextlib import contextmanager
+from typing import IO, Any, Dict, Iterator, Mapping, Optional, Union
 
-__all__ = ["configure_logging", "get_logger", "LOG_LEVELS"]
+__all__ = [
+    "JsonFormatter",
+    "LOG_FORMATS",
+    "LOG_LEVELS",
+    "configure_logging",
+    "context_fields",
+    "current_context",
+    "get_logger",
+    "log_context",
+]
 
 #: Names accepted by the CLI ``--log-level`` flag.
 LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
 
+#: Names accepted by the CLI ``--log-format`` flag.
+LOG_FORMATS = ("text", "json")
+
 _FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+#: The active correlation fields (tick, job_id, wal_segment, ...).
+_LOG_CONTEXT: contextvars.ContextVar[Dict[str, Any]] = \
+    contextvars.ContextVar("repro_log_context", default={})
+
+
+def current_context() -> Dict[str, Any]:
+    """A copy of the correlation fields bound in this context."""
+    return dict(_LOG_CONTEXT.get())
+
+
+@contextmanager
+def log_context(**fields: Any) -> Iterator[None]:
+    """Bind correlation fields onto every log record in this context.
+
+    Nested uses merge (inner bindings win on key collisions) and each
+    exit restores the exact previous binding, so a handler thread that
+    never entered the manager sees no fields at all.  Fields appear in
+    JSON log lines as top-level keys and in text lines as a bracketed
+    ``[k=v ...]`` suffix.
+    """
+    merged = dict(_LOG_CONTEXT.get())
+    merged.update(fields)
+    token = _LOG_CONTEXT.set(merged)
+    try:
+        yield
+    finally:
+        _LOG_CONTEXT.reset(token)
+
+
+class _ContextFilter(logging.Filter):
+    """Stamps the bound correlation fields onto each record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.repro_context = current_context()
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: level, logger, message, correlation ids.
+
+    Keys are sorted and values JSON-encoded with ``default=str`` so an
+    exotic field (a Path, an exception) degrades to its repr instead of
+    crashing the logging pipeline.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        context = getattr(record, "repro_context", None)
+        if context is None:  # formatter used without the filter
+            context = current_context()
+        for key, value in context.items():
+            payload.setdefault(key, value)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _TextFormatter(logging.Formatter):
+    """The classic one-liner plus a ``[k=v ...]`` correlation suffix."""
+
+    def __init__(self) -> None:
+        super().__init__(_FORMAT)
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = super().format(record)
+        context = getattr(record, "repro_context", None)
+        if context is None:
+            context = current_context()
+        if context:
+            suffix = " ".join(f"{k}={v}" for k, v
+                              in sorted(context.items()))
+            line = f"{line} [{suffix}]"
+        return line
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -31,27 +134,46 @@ def get_logger(name: str) -> logging.Logger:
 
 
 def configure_logging(level: Union[str, int] = "warning",
-                      stream: Optional[IO[str]] = None) -> logging.Logger:
+                      stream: Optional[IO[str]] = None,
+                      fmt: str = "text") -> logging.Logger:
     """Configure the ``repro`` logger tree and return its root.
 
     Idempotent: repeated calls reuse the existing handler and only adjust
-    the level, so tests may call it freely.
+    the level / format / stream, so tests may call it freely.  ``fmt``
+    is ``"text"`` (default) or ``"json"`` (structured lines carrying the
+    :func:`log_context` correlation fields).
     """
     if isinstance(level, str):
         if level.lower() not in LOG_LEVELS:
             raise ValueError(f"unknown log level {level!r}; "
                              f"choose from {LOG_LEVELS}")
         level = getattr(logging, level.upper())
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; "
+                         f"choose from {LOG_FORMATS}")
     root = logging.getLogger("repro")
     root.setLevel(level)
     handler = next((h for h in root.handlers
                     if getattr(h, "_repro_handler", False)), None)
     if handler is None:
         handler = logging.StreamHandler(stream or sys.stderr)
-        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(_ContextFilter())
         handler._repro_handler = True  # type: ignore[attr-defined]
         root.addHandler(handler)
         root.propagate = False
     elif stream is not None:
-        handler.setStream(stream)
+        try:
+            handler.setStream(stream)
+        except (ValueError, OSError):
+            # setStream flushes the outgoing stream first; if a caller
+            # already closed it, swap without the flush.
+            handler.stream = stream
+    handler.setFormatter(JsonFormatter() if fmt == "json"
+                         else _TextFormatter())
     return root
+
+
+def context_fields(**fields: Any) -> Mapping[str, Any]:
+    """Drop ``None``-valued fields (convenience for optional ids)."""
+    return {key: value for key, value in fields.items()
+            if value is not None}

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
+    "BucketHistogram",
     "Counter",
     "Gauge",
     "Histogram",
@@ -43,14 +44,18 @@ class Counter:
 class Gauge:
     """Last-value metric with an optional time series of samples."""
 
-    __slots__ = ("name", "value", "samples")
+    __slots__ = ("name", "value", "samples", "max_samples")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str,
+                 max_samples: Optional[int] = None) -> None:
         self.name = name
         self.value: Optional[float] = None
         #: ``(time, value)`` samples in recording order; consecutive
         #: duplicates are collapsed to keep long runs compact.
         self.samples: List[Tuple[float, float]] = []
+        #: When set, only the newest ``max_samples`` samples are kept —
+        #: the bound long-running daemons need (offline runs keep all).
+        self.max_samples = max_samples
 
     def set(self, value: float, time: Optional[float] = None) -> None:
         self.value = value
@@ -58,6 +63,9 @@ class Gauge:
             if self.samples and self.samples[-1][1] == value:
                 return
             self.samples.append((time, value))
+            if (self.max_samples is not None
+                    and len(self.samples) > self.max_samples):
+                del self.samples[:len(self.samples) - self.max_samples]
 
     @property
     def max(self) -> Optional[float]:
@@ -121,6 +129,79 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+        }
+
+
+class BucketHistogram:
+    """Fixed-bucket histogram in the Prometheus exposition shape.
+
+    Unlike :class:`Histogram` (which keeps every observation for exact
+    percentiles in offline reports), this variant holds only per-bucket
+    counts plus a running sum — O(buckets) memory regardless of how long
+    a service runs, which is what the live ``/metrics`` endpoint needs.
+    ``bounds`` are the *upper* bucket bounds; an implicit ``+Inf`` bucket
+    always exists, so :meth:`cumulative` is monotone and its last count
+    equals :attr:`count`.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...]) -> None:
+        if not bounds:
+            raise ValueError("BucketHistogram needs at least one bound")
+        if any(a > b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be sorted: {bounds}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        #: Per-bucket observation counts; index -1 is the +Inf bucket.
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows ending at ``+Inf``."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            rows.append((bound, running))
+        rows.append((math.inf, running + self.counts[-1]))
+        return rows
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate, ``q`` in [0, 1].
+
+        Returns the upper bound of the bucket holding the q-th
+        observation (the finest answer bucketed counts can give); the
+        largest finite bound when the rank lands in ``+Inf``.
+        """
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(math.ceil(q * self.count)))
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            if running >= rank:
+                return bound
+        return self.bounds[-1]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

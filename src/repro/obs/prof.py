@@ -30,9 +30,11 @@ keeps ``time.perf_counter`` out of simulation packages without per-line
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
 try:  # POSIX-only; the profiler degrades to RSS=None elsewhere.
     import resource as _resource
@@ -41,6 +43,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 __all__ = [
     "NULL_SPAN",
+    "RESERVOIR_SIZE",
     "SimProfiler",
     "peak_rss_mb",
 ]
@@ -94,6 +97,21 @@ class _NullSpan:
 #: Singleton no-op span; ``Scheduler.profile_span`` returns it unprofiled.
 NULL_SPAN = _NullSpan()
 
+#: Per-span sample reservoir size: enough for stable p95s, bounded so a
+#: long-running daemon's profiler never grows with uptime.  The deque
+#: keeps the *most recent* samples, which is what a live dashboard wants.
+RESERVOIR_SIZE = 2048
+
+
+def _reservoir_percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile over a sorted copy; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)  # repro: noqa RPR121 — percentiles need order; runs per telemetry refresh, not per event
+    rank = max(0, min(len(ordered) - 1,
+                      int(math.ceil(pct / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
 
 class SimProfiler:
     """Accumulates self-measurements of one (or more) simulation runs.
@@ -128,6 +146,11 @@ class SimProfiler:
         #: Named sub-phase wall seconds (from :meth:`span`).
         self.span_seconds: Dict[str, float] = {}
         self.span_counts: Dict[str, int] = {}
+        #: Bounded per-span sample reservoirs (most recent
+        #: ``RESERVOIR_SIZE`` observations) backing :meth:`span_summary`.
+        self.span_samples: Dict[str, Deque[float]] = {}
+        #: Same reservoir for scheduler passes.
+        self.pass_samples: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
         #: Hot-path invocation counters.
         self.counters: Dict[str, int] = {}
         #: Whole-run accounting (set by the engine around ``run()``).
@@ -155,10 +178,16 @@ class SimProfiler:
         """Record one scheduler pass of ``seconds`` wall time."""
         self.pass_seconds += seconds
         self.pass_count += 1
+        self.pass_samples.append(seconds)
 
     def add_span(self, name: str, seconds: float) -> None:
         self.span_seconds[name] = self.span_seconds.get(name, 0.0) + seconds
         self.span_counts[name] = self.span_counts.get(name, 0) + 1
+        reservoir = self.span_samples.get(name)
+        if reservoir is None:
+            reservoir = self.span_samples[name] = \
+                deque(maxlen=RESERVOIR_SIZE)
+        reservoir.append(seconds)
 
     def span(self, name: str) -> _Span:
         """Context manager timing a named sub-phase."""
@@ -199,6 +228,39 @@ class SimProfiler:
             return 0.0
         return self.sim_seconds / self.wall_seconds
 
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span distribution summary from the bounded reservoirs.
+
+        Keys: ``count`` / ``seconds`` are lifetime totals; ``p50`` /
+        ``p95`` / ``max`` describe the last ``RESERVOIR_SIZE``
+        observations (per-call seconds).  This is the payload
+        :func:`repro.obs.live.publish_profiler` mirrors into the live
+        registry and ``repro bench`` embeds in span rows — one
+        measurement pipeline for both.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, total in self.span_seconds.items():
+            samples = list(self.span_samples.get(name, ()))
+            out[name] = {
+                "count": float(self.span_counts.get(name, 0)),
+                "seconds": total,
+                "p50": _reservoir_percentile(samples, 50),
+                "p95": _reservoir_percentile(samples, 95),
+                "max": max(samples) if samples else 0.0,
+            }
+        return out
+
+    def pass_summary(self) -> Dict[str, float]:
+        """Scheduler-pass distribution (same shape as one span row)."""
+        samples = list(self.pass_samples)
+        return {
+            "count": float(self.pass_count),
+            "seconds": self.pass_seconds,
+            "p50": _reservoir_percentile(samples, 50),
+            "p95": _reservoir_percentile(samples, 95),
+            "max": max(samples) if samples else 0.0,
+        }
+
     # ------------------------------------------------------------------
     # Reports
     # ------------------------------------------------------------------
@@ -219,9 +281,9 @@ class SimProfiler:
             "schedule_passes": {"count": self.pass_count,
                                 "seconds": self.pass_seconds},
             "spans": {
-                name: {"count": self.span_counts.get(name, 0),
-                       "seconds": seconds}
-                for name, seconds in sorted(self.span_seconds.items())  # repro: noqa RPR121 — canonical report ordering
+                name: dict(summary,
+                           count=self.span_counts.get(name, 0))
+                for name, summary in sorted(self.span_summary().items())  # repro: noqa RPR121 — canonical report ordering
             },
             "counters": dict(sorted(self.counters.items())),  # repro: noqa RPR121 — canonical report ordering
         }

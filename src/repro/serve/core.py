@@ -266,12 +266,17 @@ class SimCore:
     def to_blob(self) -> bytes:
         """Pickle the core for a store snapshot.
 
-        The engine's observers are all off in serve mode (``NULL_TRACER``
-        et al.); the tracer singleton is stashed out before pickling so
-        the blob never captures it, and restored on both ends.
+        The engine's observers never belong in a snapshot: the tracer
+        singleton and the daemon's live-telemetry profiler (attached
+        when serve telemetry is on) are stashed out before pickling so
+        the blob captures pure simulation state — a snapshot taken with
+        telemetry on is byte-compatible with one taken without — and
+        both are restored on the way out.
         """
         tracer = self.sim.tracer
+        profiler = self.sim.profiler
         self.sim.tracer = None
+        self.sim.profiler = None
         try:
             payload = {
                 "config": self.config.to_json(),
@@ -284,12 +289,14 @@ class SimCore:
             return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         finally:
             self.sim.tracer = tracer
+            self.sim.profiler = profiler
 
     @classmethod
     def from_blob(cls, blob: bytes) -> "SimCore":
         payload = pickle.loads(blob)
         sim: Simulator = payload["sim"]
         sim.tracer = NULL_TRACER
+        sim.profiler = None
         core = cls(ServeConfig.from_json(payload["config"]), sim,
                    next_job_id=int(payload["next_job_id"]),
                    consumed=set(payload["consumed"]),

@@ -40,7 +40,10 @@ import time
 from types import FrameType
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.obs.logutil import get_logger
+from repro.obs.live import (DEFAULT_SIZE_BUCKETS, LiveRegistry,
+                            publish_profiler, render_dashboard)
+from repro.obs.logutil import get_logger, log_context
+from repro.obs.prof import SimProfiler
 from repro.serve.config import ServeConfig
 from repro.serve.core import SimCore
 from repro.serve.http import DegradedError, HttpFrontend
@@ -85,6 +88,17 @@ class ServeDaemon:
     exit_when_idle:
         Leave the service loop once at least one job was admitted and
         the simulator went idle with an empty inbox (CI/batch mode).
+    telemetry:
+        Enable the live telemetry plane: a :class:`LiveRegistry` with
+        latency histograms on every hot edge, the ``SimProfiler``
+        attached to the engine, Prometheus text on ``/metrics`` and the
+        ``/dashboard`` page.  Off = literally zero instrumentation (no
+        clock reads beyond the watchdog heartbeat), and either way the
+        scheduling stream is bit-identical — telemetry only ever
+        *reads* (regression-tested).
+    telemetry_refresh:
+        Publish the slow-path metrics (profiler span summaries, WAL /
+        store sizes) every N committed ticks.
     """
 
     def __init__(self, state_dir: str,
@@ -94,9 +108,13 @@ class ServeDaemon:
                  http_port: Optional[int] = None,
                  inbox_capacity: int = 64,
                  durable: bool = True,
-                 exit_when_idle: bool = False) -> None:
+                 exit_when_idle: bool = False,
+                 telemetry: bool = True,
+                 telemetry_refresh: int = 10) -> None:
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
+        if telemetry_refresh < 1:
+            raise ValueError("telemetry_refresh must be >= 1")
         self.state_dir = state_dir
         self.requested_config = config
         self.poll_interval = poll_interval
@@ -104,6 +122,12 @@ class ServeDaemon:
         self.http_port = http_port
         self.durable = durable
         self.exit_when_idle = exit_when_idle
+        self.telemetry_refresh = telemetry_refresh
+        #: The live telemetry plane; ``None`` = off (zero overhead).
+        self.live: Optional[LiveRegistry] = \
+            LiveRegistry() if telemetry else None
+        self.profiler: Optional[SimProfiler] = \
+            SimProfiler() if telemetry else None
 
         self.store: Optional[Store] = None
         self.wal: Optional[WriteAheadLog] = None
@@ -119,6 +143,7 @@ class ServeDaemon:
         self._admitted_any = False
         self._heartbeat = 0.0
         self._ticks_this_boot = 0
+        self._last_snapshot_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -130,8 +155,29 @@ class ServeDaemon:
         self.store = Store(self.state_dir)
         self.wal = WriteAheadLog(os.path.join(self.state_dir, "wal"),
                                  durable=self.durable)
+        live = self.live
+        recover_started = \
+            time.perf_counter() if live is not None else 0.0
         self.core, self.recovery = recover(self.store, self.wal,
                                            self.requested_config)
+        if live is not None:
+            live.histogram(
+                "serve_recovery_replay_seconds",
+                "Wall time of the boot-time snapshot load + WAL replay"
+            ).observe(time.perf_counter() - recover_started)
+            live.counter("serve_boots_total",
+                         "Daemon boots (each runs recovery)").inc()
+            live.gauge("serve_recovery_replayed_ticks",
+                       "Tick records replayed at the last boot"
+                       ).set(float(self.recovery.replayed_ticks))
+            live.gauge("serve_recovery_torn_records",
+                       "Torn WAL records truncated at the last boot"
+                       ).set(float(self.recovery.torn_records))
+            # The profiler observes the engine from here on; it is
+            # stashed out of snapshot blobs (see SimCore.to_blob) and
+            # feeds nothing back, so the event stream stays identical.
+            self.core.sim.profiler = self.profiler
+            self.wal.on_append = self._observe_wal_append
         self._admitted_any = bool(self.core.sim.jobs)
         # Dirty until a graceful close: a SIGKILL from here on leaves
         # clean=0 behind and the next boot knows to distrust the tail.
@@ -206,33 +252,106 @@ class ServeDaemon:
             assert self.core is not None and self.wal is not None \
                 and self.store is not None
             core = self.core
+            live = self.live
+            tick_started = \
+                time.perf_counter() if live is not None else 0.0
             items = self.inbox.poll(core.consumed, core.config.batch)
+            if live is not None:
+                live.histogram(
+                    "serve_inbox_poll_seconds",
+                    "Wall time of one inbox poll (listdir + reads)"
+                ).observe(time.perf_counter() - tick_started)
             if core.degraded is not None:
                 # Degraded: stop admitting and advancing; reads only.
                 return False
             if not items and not core.active:
+                if live is not None:
+                    live.counter("serve_idle_polls_total",
+                                 "Polls that found no work").inc()
                 return False
-            rec = self._tick_record(core.tick + 1, items)
-            self.wal.append(rec)  # write-ahead: durable before applied
-            dispositions = apply_tick_record(core, rec)
-            self.wal.append({"kind": "commit", "tick": core.tick,
-                             "digest": core.digest(),
-                             "now": core.sim.now,
-                             "events": core.sim._events_processed,
-                             "degraded": core.degraded})
-            self._ticks_this_boot += 1
-            if dispositions:
-                self._admitted_any = True
-                self._catalog(core.tick, rec, dispositions)
-            # Consumed spec files may go: their content is in the WAL.
-            self.inbox.remove([str(n) for n in rec["files"]]
-                              + [str(n) for n in rec["skipped"]])
-            if core.degraded is not None:
-                logger.error("core degraded at tick %d: %s", core.tick,
-                             core.degraded)
-            if core.tick % self.snapshot_every == 0:
-                self._snapshot()
+            # Correlation: every log line below — daemon, engine, WAL,
+            # inbox — carries the tick being built and the segment it
+            # journals into.
+            with log_context(tick=core.tick + 1,
+                             wal_segment=self.wal.active_segment):
+                rec = self._tick_record(core.tick + 1, items)
+                self.wal.append(rec)  # write-ahead: durable before applied
+                dispositions = apply_tick_record(core, rec)
+                self.wal.append({"kind": "commit", "tick": core.tick,
+                                 "digest": core.digest(),
+                                 "now": core.sim.now,
+                                 "events": core.sim._events_processed,
+                                 "degraded": core.degraded})
+                self._ticks_this_boot += 1
+                if dispositions:
+                    self._admitted_any = True
+                    self._catalog(core.tick, rec, dispositions)
+                # Consumed spec files may go: content is in the WAL.
+                self.inbox.remove([str(n) for n in rec["files"]]
+                                  + [str(n) for n in rec["skipped"]])
+                if core.degraded is not None:
+                    logger.error("core degraded at tick %d: %s",
+                                 core.tick, core.degraded)
+                if core.tick % self.snapshot_every == 0:
+                    self._snapshot()
+            if live is not None:
+                self._observe_tick(live, core, len(items),
+                                   time.perf_counter() - tick_started)
             return True
+
+    def _observe_tick(self, live: LiveRegistry, core: SimCore,
+                      batch_size: int, seconds: float) -> None:
+        """Per-tick fast-path metrics (telemetry on only)."""
+        live.histogram("serve_tick_duration_seconds",
+                       "Wall time of one journaled service tick"
+                       ).observe(seconds)
+        live.histogram("serve_inbox_batch_size",
+                       "Specs admitted per service tick",
+                       buckets=DEFAULT_SIZE_BUCKETS
+                       ).observe(float(batch_size))
+        live.counter("serve_ticks_total",
+                     "Committed service ticks").inc()
+        when = float(core.tick)
+        live.gauge("serve_sim_now_seconds",
+                   "Simulated clock (x = service tick)"
+                   ).set(core.sim.now, time=when)
+        live.gauge("serve_jobs_total", "Jobs admitted since genesis"
+                   ).set(float(len(core.sim.jobs)), time=when)
+        live.gauge("serve_jobs_unfinished",
+                   "Admitted jobs not yet finished (x = service tick)"
+                   ).set(float(core.sim._unfinished), time=when)
+        live.gauge("serve_events_processed",
+                   "Simulator events dispatched since genesis"
+                   ).set(float(core.sim._events_processed), time=when)
+        if core.tick % self.telemetry_refresh == 0:
+            self._publish_slow(live)
+
+    def _publish_slow(self, live: LiveRegistry) -> None:
+        """Slow-path metrics on the refresh interval: profiler span
+        summaries and durable-state sizes."""
+        assert self.wal is not None and self.store is not None
+        if self.profiler is not None:
+            publish_profiler(live, self.profiler)
+        stats = self.wal.stats()
+        live.gauge("serve_wal_segments", "WAL segment files on disk"
+                   ).set(float(stats["segments"]))
+        live.gauge("serve_wal_bytes", "Total WAL bytes on disk"
+                   ).set(float(stats["bytes"]))
+        live.gauge("serve_store_bytes",
+                   "sqlite store bytes on disk (db + WAL + SHM)"
+                   ).set(float(self.store.db_bytes()))
+        live.gauge("serve_snapshots", "Snapshots held by the store"
+                   ).set(float(len(self.store.snapshot_ticks())))
+
+    def _observe_wal_append(self, kind: str, nbytes: int,
+                            seconds: float) -> None:
+        """WAL append observer (installed only when telemetry is on)."""
+        assert self.live is not None
+        self.live.histogram("serve_wal_append_seconds",
+                            "WAL append latency incl. flush + fsync",
+                            {"kind": kind}).observe(seconds)
+        self.live.counter("serve_wal_appended_bytes_total",
+                          "Bytes appended to the WAL").inc(float(nbytes))
 
     def _tick_record(self, tick: int,
                      items: List[InboxItem]) -> Dict[str, Any]:
@@ -266,10 +385,21 @@ class ServeDaemon:
         assert self.core is not None and self.store is not None \
             and self.wal is not None
         core = self.core
+        live = self.live
+        started = time.perf_counter() if live is not None else 0.0
         self.wal.append({"kind": "snapshot", "tick": core.tick})
         self.store.put_snapshot(core.tick, self.wal.next_seq,
                                 core.digest(), core.to_blob())
         self.wal.open_segment(core.tick, self.wal.next_seq)
+        self._last_snapshot_monotonic = time.monotonic()
+        if live is not None:
+            live.histogram(
+                "serve_snapshot_write_seconds",
+                "Wall time of one snapshot (pickle + sqlite + rotate)"
+            ).observe(time.perf_counter() - started)
+            live.gauge("serve_last_snapshot_tick",
+                       "Tick of the newest store snapshot"
+                       ).set(float(core.tick))
         logger.info("snapshot at tick %d (seq %d)", core.tick,
                     self.wal.next_seq)
 
@@ -313,10 +443,17 @@ class ServeDaemon:
 
     def metrics(self) -> Dict[str, Any]:
         with self._lock:
-            assert self.core is not None and self.store is not None
+            assert self.core is not None and self.store is not None \
+                and self.wal is not None
             core = self.core
             finished = sum(1 for row in core.job_statuses()
                            if row["status"] == "finished")
+            wal_stats = self.wal.stats()
+            snap_tick = self.store.latest_snapshot_tick()
+            snap_age_s = None
+            if self._last_snapshot_monotonic is not None:
+                snap_age_s = round(
+                    time.monotonic() - self._last_snapshot_monotonic, 3)
             return {
                 "ticks": core.tick,
                 "ticks_this_boot": self._ticks_this_boot,
@@ -326,19 +463,35 @@ class ServeDaemon:
                 "jobs_finished": finished,
                 "inbox_pending": len(self.inbox.pending(core.consumed)),
                 "snapshots": len(self.store.snapshot_ticks()),
+                "wal_segments": wal_stats["segments"],
+                "wal_bytes": wal_stats["bytes"],
+                "store_bytes": self.store.db_bytes(),
+                "last_snapshot_tick": snap_tick,
+                "snapshot_age_ticks": (None if snap_tick is None
+                                       else core.tick - snap_tick),
+                "snapshot_age_s": snap_age_s,
                 "heartbeat_age_s": round(self.heartbeat_age(), 3),
                 "degraded": core.degraded is not None,
+                "telemetry": self.live is not None,
             }
 
     def health(self) -> Tuple[bool, Dict[str, Any]]:
-        """Watchdog verdict for ``/healthz``."""
+        """Watchdog verdict for ``/healthz``.
+
+        The detail separates the two failure modes so probes can tell
+        a *slow tick* (``stale``: the loop heartbeat outran its budget)
+        from a *degraded core* (``degraded``: a deterministic
+        simulation failure; restarts will reproduce it).
+        """
         with self._lock:
             assert self.core is not None
             age = self.heartbeat_age()
             budget = max(5.0, self.poll_interval * _HEARTBEAT_SLACK)
             stale = age > budget
             degraded = self.core.degraded is not None
+            self._set_watchdog_gauges(age, stale, degraded)
             detail = {"ok": not (stale or degraded),
+                      "stale": stale,
                       "heartbeat_age_s": round(age, 3),
                       "heartbeat_budget_s": budget,
                       "degraded": self.core.degraded}
@@ -346,6 +499,47 @@ class ServeDaemon:
 
     def heartbeat_age(self) -> float:
         return time.monotonic() - self._heartbeat
+
+    def _set_watchdog_gauges(self, age: float, stale: bool,
+                             degraded: bool) -> None:
+        if self.live is None:
+            return
+        self.live.gauge("serve_heartbeat_age_seconds",
+                        "Service-loop watchdog heartbeat age").set(age)
+        self.live.gauge("serve_stale",
+                        "1 while the heartbeat outran its budget "
+                        "(slow tick)").set(1.0 if stale else 0.0)
+        self.live.gauge("serve_degraded",
+                        "1 while the core is in degraded mode"
+                        ).set(1.0 if degraded else 0.0)
+
+    # ------------------------------------------------------------------
+    # Live telemetry surfaces (``None`` when telemetry is off)
+    # ------------------------------------------------------------------
+    def prometheus(self) -> Optional[str]:
+        """The live registry as Prometheus text exposition."""
+        if self.live is None:
+            return None
+        with self._lock:
+            assert self.core is not None
+            age = self.heartbeat_age()
+            budget = max(5.0, self.poll_interval * _HEARTBEAT_SLACK)
+            self._set_watchdog_gauges(
+                age, age > budget, self.core.degraded is not None)
+        return self.live.render_prometheus()
+
+    def live_json(self) -> Optional[Dict[str, Any]]:
+        """The live registry as one JSON document (dashboard polling)."""
+        if self.live is None:
+            return None
+        return self.live.render_json()
+
+    def dashboard_html(self) -> Optional[str]:
+        """The self-contained ``/dashboard`` page."""
+        if self.live is None:
+            return None
+        title = f"repro serve · {self.state_dir}"
+        return render_dashboard(self.live, title=title)
 
     def __enter__(self) -> "ServeDaemon":
         if not self._started:

@@ -1,6 +1,6 @@
 """Localhost HTTP frontend for the serve daemon (stdlib ``http.server``).
 
-Endpoints (all JSON):
+Endpoints:
 
 * ``POST /submit`` — body is one job spec; the frontend drops it into
   the file inbox (the single admission path — HTTP submissions and
@@ -9,10 +9,22 @@ Endpoints (all JSON):
   invalid spec/JSON, ``429`` inbox full (with ``Retry-After``), ``503``
   degraded mode.
 * ``GET /status`` — service tick, simulated clock, per-job statuses.
-* ``GET /metrics`` — counters and gauges, including the watchdog
-  heartbeat age.
+* ``GET /metrics`` — content-negotiated: the default is the Prometheus
+  text exposition (``text/plain; version=0.0.4``) rendered from the
+  daemon's live registry; ``Accept: application/json`` keeps the
+  original JSON counter document; ``?format=live`` returns the registry
+  itself as JSON (what the dashboard polls).  With telemetry disabled
+  the text form answers ``503`` and the JSON form keeps working.
+* ``GET /dashboard`` — the self-contained live dashboard page
+  (``503`` when telemetry is off).
 * ``GET /healthz`` — ``200 ok`` while the service loop heartbeat is
-  fresh and the core is healthy, else ``503``.
+  fresh and the core is healthy, else ``503``; the JSON detail carries
+  distinct ``stale`` (slow tick) and ``degraded`` flags.
+
+When telemetry is on, every request lands in the
+``repro_serve_http_request_seconds`` histogram labeled by normalized
+route and status code (unknown paths collapse into one ``other`` label
+so cardinality stays bounded).
 
 The server binds localhost only, runs in daemon threads, and applies a
 per-request socket timeout so a stuck client cannot wedge a handler
@@ -22,10 +34,12 @@ thread.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import Thread
 from typing import Any, Dict, Optional, Tuple, Type
 
+from repro.obs.live import CONTENT_TYPE_PROMETHEUS
 from repro.obs.logutil import get_logger
 from repro.serve.inbox import InboxFullError
 from repro.serve.jobspec import JobSpecError
@@ -35,6 +49,10 @@ __all__ = ["DegradedError", "HttpFrontend"]
 logger = get_logger("serve.http")
 
 _MAX_BODY = 1 << 20  # 1 MiB: job specs are small; bound request memory
+
+#: Routes that get their own latency label; everything else is "other".
+_KNOWN_ROUTES = frozenset(
+    {"/submit", "/status", "/metrics", "/healthz", "/dashboard"})
 
 
 class DegradedError(RuntimeError):
@@ -51,33 +69,109 @@ def _make_handler(daemon: Any) -> Type[BaseHTTPRequestHandler]:
         def log_message(self, fmt: str, *args: Any) -> None:
             logger.debug("http: " + fmt, *args)
 
-        def _reply(self, code: int, payload: Dict[str, Any],
-                   headers: Optional[Dict[str, str]] = None) -> None:
-            body = (json.dumps(payload, sort_keys=True) + "\n"
-                    ).encode("utf-8")
+        def _send(self, code: int, body: bytes,
+                  content_type: str,
+                  headers: Optional[Dict[str, str]] = None) -> None:
+            self._status = code
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             for key, value in (headers or {}).items():
                 self.send_header(key, value)
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply(self, code: int, payload: Dict[str, Any],
+                   headers: Optional[Dict[str, str]] = None) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+            self._send(code, body, "application/json", headers)
+
+        def _reply_text(self, code: int, text: str,
+                        content_type: str) -> None:
+            self._send(code, text.encode("utf-8"), content_type)
+
+        def _observe(self, route: str, started: float) -> None:
+            live = daemon.live
+            if live is None:
+                return
+            if route not in _KNOWN_ROUTES:
+                route = "other"
+            status = str(getattr(self, "_status", 500))
+            live.histogram(
+                "serve_http_request_seconds",
+                "HTTP request latency by route and status",
+                {"route": route, "status": status},
+            ).observe(time.perf_counter() - started)
+
         # -- routes ----------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
-            if self.path == "/status":
+            started = time.perf_counter() if daemon.live is not None \
+                else 0.0
+            path, _, query = self.path.partition("?")
+            try:
+                self._route_get(path, query)
+            finally:
+                self._observe(path, started)
+
+        def _route_get(self, path: str, query: str) -> None:
+            if path == "/status":
                 self._reply(200, daemon.status())
-            elif self.path == "/metrics":
-                self._reply(200, daemon.metrics())
-            elif self.path == "/healthz":
+            elif path == "/metrics":
+                self._metrics(query)
+            elif path == "/healthz":
                 healthy, detail = daemon.health()
                 self._reply(200 if healthy else 503, detail)
+            elif path == "/dashboard":
+                page = daemon.dashboard_html()
+                if page is None:
+                    self._reply(503, {"error": "telemetry is disabled "
+                                      "(serve --no-telemetry)"})
+                else:
+                    self._reply_text(200, page,
+                                     "text/html; charset=utf-8")
             else:
-                self._reply(404, {"error": f"no such path {self.path!r}"})
+                self._reply(404, {"error": f"no such path {path!r}"})
+
+        def _metrics(self, query: str) -> None:
+            """Content negotiation for ``GET /metrics``.
+
+            Priority: ``?format=live`` (registry JSON, the dashboard's
+            poll target) > ``?format=json`` / ``Accept:
+            application/json`` (the original counter document) > the
+            Prometheus text exposition.
+            """
+            accept = self.headers.get("Accept", "")
+            if "format=live" in query:
+                doc = daemon.live_json()
+                if doc is None:
+                    self._reply(503, {"error": "telemetry is disabled"})
+                else:
+                    self._reply(200, doc)
+            elif "format=json" in query or "application/json" in accept:
+                self._reply(200, daemon.metrics())
+            else:
+                text = daemon.prometheus()
+                if text is None:
+                    self._reply(503, {
+                        "error": "telemetry is disabled; JSON metrics "
+                                 "remain at Accept: application/json"})
+                else:
+                    self._reply_text(200, text,
+                                     CONTENT_TYPE_PROMETHEUS)
 
         def do_POST(self) -> None:  # noqa: N802 (http.server API)
-            if self.path != "/submit":
-                self._reply(404, {"error": f"no such path {self.path!r}"})
+            started = time.perf_counter() if daemon.live is not None \
+                else 0.0
+            path = self.path.partition("?")[0]
+            try:
+                self._route_post(path)
+            finally:
+                self._observe(path, started)
+
+        def _route_post(self, path: str) -> None:
+            if path != "/submit":
+                self._reply(404, {"error": f"no such path {path!r}"})
                 return
             length = int(self.headers.get("Content-Length", 0))
             if length <= 0 or length > _MAX_BODY:

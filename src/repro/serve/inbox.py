@@ -25,8 +25,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.obs.ioutil import atomic_write_text
+from repro.obs.logutil import get_logger
 
 __all__ = ["Inbox", "InboxFullError", "InboxItem"]
+
+logger = get_logger("serve.inbox")
 
 _NAME_RE = re.compile(r"^job-(\d{8})\.json$")
 
@@ -83,6 +86,9 @@ class Inbox:
                     name, None, "spec file must hold a JSON object"))
                 continue
             items.append(InboxItem(name, spec))
+        if items:
+            logger.debug("poll: %d item(s), first %s", len(items),
+                         items[0].name)
         return items
 
     def remove(self, names: Iterable[str]) -> None:
@@ -116,9 +122,13 @@ class Inbox:
         Raises :class:`InboxFullError` when ``capacity`` specs are
         already pending (burst backpressure).
         """
-        if len(self.pending(consumed)) >= self.capacity:
+        pending = len(self.pending(consumed))
+        if pending >= self.capacity:
+            logger.warning("inbox full: %d pending >= capacity %d",
+                           pending, self.capacity)
             raise InboxFullError(self.capacity, self.retry_after)
         name = self.next_name(consumed)
         atomic_write_text(os.path.join(self.inbox_dir, name),
                           json.dumps(spec, sort_keys=True, indent=2) + "\n")
+        logger.debug("submitted %s (%d pending)", name, pending + 1)
         return name

@@ -27,7 +27,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.obs.logutil import get_logger
+from repro.obs.logutil import get_logger, log_context
 from repro.serve.config import ServeConfig
 from repro.serve.core import SimCore
 from repro.serve.store import Store
@@ -130,36 +130,49 @@ def recover(store: Store, wal: WriteAheadLog,
     replayed = 0
     last_seq = snap_seq - 1
     pending_tick: Optional[Dict[str, Any]] = None
-    for record in wal.replay_segment(segment):
-        if record.seq < snap_seq:
-            last_seq = max(last_seq, record.seq)
-            continue
-        if record.seq != last_seq + 1:
-            raise RecoveryError(
-                f"WAL sequence gap in {segment}: expected "
-                f"{last_seq + 1}, found {record.seq}")
-        last_seq = record.seq
-        if record.kind == "tick":
-            apply_tick_record(core, record.rec)
-            replayed += 1
-            pending_tick = record.rec
-        elif record.kind == "commit":
-            _verify(core, str(record.rec["digest"]),
-                    f"commit of tick {record.rec['tick']}")
-            pending_tick = None
-        # "genesis" / "snapshot" markers carry no state transition.
+    # The correlation context binds the segment being replayed (and,
+    # per record, the tick) onto every log line emitted below — the
+    # engine's and WAL's included — so a crash is traceable from the
+    # structured log alone: boot → segment → tick → divergence.
+    with log_context(wal_segment=segment, snapshot_tick=snap_tick):
+        for record in wal.replay_segment(segment):
+            if record.seq < snap_seq:
+                last_seq = max(last_seq, record.seq)
+                continue
+            if record.seq != last_seq + 1:
+                raise RecoveryError(
+                    f"WAL sequence gap in {segment}: expected "
+                    f"{last_seq + 1}, found {record.seq}")
+            last_seq = record.seq
+            if record.kind == "tick":
+                with log_context(tick=int(record.rec["tick"])):
+                    apply_tick_record(core, record.rec)
+                    logger.debug("replayed tick (seq %d, %d spec(s))",
+                                 record.seq,
+                                 len(record.rec.get("specs", [])))
+                replayed += 1
+                pending_tick = record.rec
+            elif record.kind == "commit":
+                with log_context(tick=int(record.rec["tick"])):
+                    _verify(core, str(record.rec["digest"]),
+                            f"commit of tick {record.rec['tick']}")
+                pending_tick = None
+            # "genesis" / "snapshot" markers carry no state transition.
 
-    wal.open_segment(snap_tick, last_seq + 1)
-    recommitted = False
-    if pending_tick is not None:
-        # Crash landed between the tick journal and its commit; the
-        # deterministic re-application above already rebuilt the state
-        # (including ``core.tick``), so commit it now.
-        wal.append({"kind": "commit", "tick": core.tick,
-                    "digest": core.digest(),
-                    "now": core.sim.now,
-                    "events": core.sim._events_processed})
-        recommitted = True
+        wal.open_segment(snap_tick, last_seq + 1)
+        recommitted = False
+        if pending_tick is not None:
+            # Crash landed between the tick journal and its commit; the
+            # deterministic re-application above already rebuilt the
+            # state (including ``core.tick``), so commit it now.
+            with log_context(tick=core.tick):
+                wal.append({"kind": "commit", "tick": core.tick,
+                            "digest": core.digest(),
+                            "now": core.sim.now,
+                            "events": core.sim._events_processed})
+                logger.info("recommitted tick %d after crash between "
+                            "journal and commit", core.tick)
+            recommitted = True
 
     report = RecoveryReport(genesis=False, clean=clean,
                             snapshot_tick=snap_tick,

@@ -125,6 +125,22 @@ class Store:
             "SELECT tick FROM snapshots ORDER BY tick").fetchall()
         return [int(row[0]) for row in rows]
 
+    def latest_snapshot_tick(self) -> Optional[int]:
+        """Newest snapshot's tick without loading its blob."""
+        row = self._conn.execute(
+            "SELECT MAX(tick) FROM snapshots").fetchone()
+        return None if row is None or row[0] is None else int(row[0])
+
+    def db_bytes(self) -> int:
+        """On-disk size of the sqlite database (main file + WAL/SHM)."""
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
     # -- job catalog ---------------------------------------------------
     def record_job(self, job_id: int, tick: int, disposition: str,
                    spec: Dict[str, Any]) -> None:

@@ -35,14 +35,22 @@ from __future__ import annotations
 import json
 import os
 import re
+import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Tuple)
 
 from repro.obs.ioutil import ensure_parent, fsync_dir
 
 __all__ = ["WalCorruptionError", "WalRecord", "WriteAheadLog",
            "segment_name", "segment_tick"]
+
+#: Append observer signature: ``(kind, encoded_bytes, wall_seconds)``
+#: after each durable append.  ``wall_seconds`` covers encode + write +
+#: flush + fsync — the full write-ahead latency the daemon's
+#: ``serve_wal_append_seconds`` histogram reports.
+AppendObserver = Callable[[str, int, float], None]
 
 _SEGMENT_RE = re.compile(r"^wal-(\d{8})\.jsonl$")
 
@@ -108,6 +116,9 @@ class WriteAheadLog:
         self._handle: Optional[Any] = None
         self._active: Optional[str] = None
         self._next_seq = 0
+        #: Optional per-append telemetry hook (``None`` = zero overhead:
+        #: the hot path takes no clock reads while unset).
+        self.on_append: Optional[AppendObserver] = None
         ensure_parent(os.path.join(wal_dir, "x"))
 
     # -- reading -------------------------------------------------------
@@ -193,13 +204,30 @@ class WriteAheadLog:
         """Journal ``rec``; durable on return when ``durable=True``."""
         if self._handle is None:
             raise RuntimeError("WAL has no open segment")
+        observer = self.on_append
+        started = time.perf_counter() if observer is not None else 0.0
         record = WalRecord(seq=self._next_seq, rec=rec)
-        self._handle.write(record.encode() + "\n")
+        line = record.encode() + "\n"
+        self._handle.write(line)
         self._handle.flush()
         if self.durable:
             os.fsync(self._handle.fileno())
         self._next_seq += 1
+        if observer is not None:
+            observer(record.kind, len(line.encode("utf-8")),
+                     time.perf_counter() - started)
         return record
+
+    def stats(self) -> Dict[str, int]:
+        """Segment count and total on-disk bytes (for ``/metrics``)."""
+        segments = self.segments()
+        total = 0
+        for name in segments:
+            try:
+                total += os.path.getsize(os.path.join(self.wal_dir, name))
+            except OSError:  # pragma: no cover - raced with cleanup
+                pass
+        return {"segments": len(segments), "bytes": total}
 
     @property
     def next_seq(self) -> int:

@@ -103,7 +103,7 @@ class TestSeededRegressions:
     def test_simcore_mutation_bypassing_apply_tick_record(self, tree_copy):
         inject(tree_copy, "src/repro/serve/daemon.py",
                "dispositions = apply_tick_record(core, rec)",
-               "            core.tick += 1")
+               "                core.tick += 1")
         findings = self.lint(tree_copy)
         assert [f.code for f in findings] == ["RPR110"]
         assert findings[0].path.endswith("serve/daemon.py")

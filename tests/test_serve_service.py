@@ -265,7 +265,10 @@ def http_call(address, path, payload=None):
     url = f"http://{host}:{port}{path}"
     data = None if payload is None else json.dumps(payload).encode()
     request = urllib.request.Request(url, data=data, method=(
-        "POST" if data is not None else "GET"))
+        "POST" if data is not None else "GET"),
+        # /metrics defaults to Prometheus text since the live-telemetry
+        # plane landed; this helper always wants the JSON documents.
+        headers={"Accept": "application/json"})
     try:
         with urllib.request.urlopen(request, timeout=10) as response:
             return response.status, json.loads(response.read()), \
