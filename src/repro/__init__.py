@@ -47,7 +47,7 @@ __all__ = [
 
 def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
                      seed=None, tracer=None, faults=None, profile=None,
-                     series=None, **scheduler_kwargs):
+                     series=None, lineage=None, **scheduler_kwargs):
     """Generate a trace, run one scheduler over it, return the results.
 
     Pass a :class:`repro.obs.RingBufferTracer` as ``tracer`` to collect
@@ -72,4 +72,5 @@ def quick_simulation(trace="venus", scheduler="lucid", n_jobs=None,
     jobs = generator.generate()
     sched = make_scheduler(scheduler, history, **scheduler_kwargs)
     return Simulator(cluster, jobs, sched, tracer=tracer,
-                     faults=faults, profile=profile, series=series).run()
+                     faults=faults, profile=profile, series=series,
+                     lineage=lineage).run()

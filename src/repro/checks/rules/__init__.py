@@ -7,10 +7,11 @@ built once per ``repro lint --project`` run:
   cycles, layering conformance against the DAG declared in
   ``pyproject.toml`` (``[tool.repro.layers]``), cross-package private
   imports, umbrella imports, entry-point imports.
-* :mod:`repro.checks.rules.replay` — RPR110..RPR113: replay safety of
+* :mod:`repro.checks.rules.replay` — RPR110..RPR114: replay safety of
   the serve subsystem (SimCore mutations outside ``apply_tick_record``,
   WAL payload coverage of ``EventKind``, wall-clock/RNG and unordered
-  iteration reachable from digest-computing code).
+  iteration reachable from digest-computing code, lineage cause-schema
+  coverage of ``EventKind``).
 * :mod:`repro.checks.rules.hotpath` — RPR120..RPR123: allocation and
   per-item-model-call patterns inside functions the profiler baseline
   (``benchmarks/results/bench_baseline.json``) marks hot.
@@ -68,6 +69,10 @@ GRAPH_RULES: Dict[str, Tuple[str, str]] = {
     "RPR113": ("unordered iteration reachable from digest/replay code",
                "wrap the iterable in sorted(...); iteration order feeds "
                "the digest via state mutation order"),
+    "RPR114": ("EventKind member without a lineage cause-schema entry",
+               "add the member to LINEAGE_CAUSE_SCHEMA in obs/lineage.py "
+               "stating which causes the lineage collector records for "
+               "it (and drop stale entries)"),
     "RPR120": ("deepcopy inside a profiler-hot function",
                "deepcopy on the hot path dominates the profile; share "
                "immutable state or copy only the mutated fields"),

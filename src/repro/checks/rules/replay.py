@@ -1,4 +1,4 @@
-"""Replay-safety pack: RPR110–RPR113 over the serve/digest call graph.
+"""Replay-safety pack: RPR110–RPR114 over the serve/digest call graph.
 
 The serve subsystem's recovery invariant (DESIGN.md): state is a pure
 function of the journaled inputs, and ``apply_tick_record`` is the only
@@ -23,6 +23,11 @@ rules machine-check that invariant across module boundaries:
   reachable from the digest roots but living outside the per-file
   decision packages, where iteration order still feeds the digest
   through mutation order.
+* **RPR114** — ``EventKind`` members missing from (or stale in) the
+  ``LINEAGE_CAUSE_SCHEMA`` literal in ``obs/lineage.py``, which
+  documents which upstream events the causal-lineage collector records
+  as causes for each engine event kind (the RPR111 pattern applied to
+  the lineage plane).
 """
 
 from __future__ import annotations
@@ -250,6 +255,7 @@ def _event_kind_values(module: Optional[ModuleInfo]) -> Dict[str, int]:
 
 
 def _coverage_literal(module: Optional[ModuleInfo],
+                      name: str = "WAL_EVENT_COVERAGE",
                       ) -> Optional[Tuple[Set[str], int]]:
     if module is None or module.tree is None:
         return None
@@ -261,7 +267,7 @@ def _coverage_literal(module: Optional[ModuleInfo],
         elif isinstance(node, ast.AnnAssign):
             target, value = node.target, node.value
         if isinstance(target, ast.Name) \
-                and target.id == "WAL_EVENT_COVERAGE" \
+                and target.id == name \
                 and isinstance(value, ast.Dict):
             keys = {k.value for k in value.keys
                     if isinstance(k, ast.Constant)
@@ -295,6 +301,47 @@ def _check_rpr111(index: ProjectIndex) -> List[Finding]:
         findings.append(_finding(
             "RPR111", core.path, line, 0,
             f"WAL_EVENT_COVERAGE entry {value!r} matches no EventKind "
+            "member; delete the stale entry"))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# RPR114
+# ----------------------------------------------------------------------
+def _check_rpr114(index: ProjectIndex) -> List[Finding]:
+    """Every ``EventKind`` member needs a ``LINEAGE_CAUSE_SCHEMA`` entry.
+
+    Same shape as RPR111, against the causal-lineage cause schema in
+    ``obs/lineage.py``: the literal documents, per engine event kind,
+    which upstream events the :class:`LineageCollector` records as
+    causes.  A new EventKind without an entry means lineage silently
+    misses a causal edge; a stale key documents an edge that cannot
+    occur.
+    """
+    events = _module(index, "sim.events")
+    lineage = _module(index, "obs.lineage")
+    if events is None or lineage is None:
+        return []
+    members = _event_kind_values(events)
+    if not members:
+        return []
+    coverage = _coverage_literal(lineage, name="LINEAGE_CAUSE_SCHEMA")
+    if coverage is None:
+        return [_finding(
+            "RPR114", lineage.path, 1, 0,
+            "obs/lineage.py declares no LINEAGE_CAUSE_SCHEMA literal; "
+            "every EventKind member needs a declared cause story")]
+    keys, line = coverage
+    findings: List[Finding] = []
+    for value in sorted(set(members) - keys):
+        findings.append(_finding(
+            "RPR114", lineage.path, line, 0,
+            f"EventKind value {value!r} has no LINEAGE_CAUSE_SCHEMA "
+            "entry; state which causes lineage records for it"))
+    for value in sorted(keys - set(members)):
+        findings.append(_finding(
+            "RPR114", lineage.path, line, 0,
+            f"LINEAGE_CAUSE_SCHEMA entry {value!r} matches no EventKind "
             "member; delete the stale entry"))
     return findings
 
@@ -532,6 +579,7 @@ def check_replay(ctx: RuleContext) -> List[Finding]:
     findings: List[Finding] = []
     findings.extend(_check_rpr110(index))
     findings.extend(_check_rpr111(index))
+    findings.extend(_check_rpr114(index))
     findings.extend(_check_rpr112_113(ctx))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings

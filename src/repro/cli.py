@@ -33,6 +33,13 @@ explain
     Print the recorded placement explanation of one job — either from a
     fresh run or from a previously exported ``audit.jsonl``; supports
     ``--what-if feature=value`` counterfactual probes.
+why
+    Answer "why was this job slow?": decompose one job's JCT into
+    pending-profiling / pending-main-queue / sharing-slowdown /
+    preemption-overhead / fault-retry / pure-compute components that
+    sum exactly to the JCT, name the jobs that blocked it, and print
+    its causal critical path.  Works live (run a preset) or offline
+    (``--trace events.jsonl`` from a previous ``repro trace`` export).
 serve
     Run the crash-recoverable scheduler service (:mod:`repro.serve`):
     a daemon with a file inbox + localhost HTTP frontend for runtime
@@ -107,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the first N placement explanations")
     trace_cmd.add_argument("--tail", type=int, default=None, metavar="N",
                            help="print the last N retained trace events")
+    trace_cmd.add_argument("--job", type=int, default=None, metavar="ID",
+                           help="restrict the event table and --tail "
+                                "output to one job's events")
+    trace_cmd.add_argument("--kind", action="append", default=None,
+                           metavar="KIND",
+                           help="restrict to one event kind (repeatable, "
+                                "e.g. --kind start --kind preempt)")
 
     cmp_cmd = sub.add_parser("compare", help="compare schedulers")
     _trace_args(cmp_cmd)
@@ -285,6 +299,19 @@ def build_parser() -> argparse.ArgumentParser:
                               "duration model with one feature "
                               "overridden (repeatable; requires a live "
                               "run, not --audit)")
+
+    why = sub.add_parser(
+        "why", help="decompose one job's JCT from the causal event "
+                    "lineage: where the time went and who blocked it")
+    _trace_args(why)
+    why.add_argument("job_id", type=int, help="job id to decompose")
+    why.add_argument("--scheduler", default="lucid",
+                     choices=SCHEDULER_CHOICES)
+    why.add_argument("--format", choices=("text", "json"),
+                     default="text", help="output format")
+    why.add_argument("--path", type=int, default=8, metavar="N",
+                     help="show the last N critical-path events "
+                          "(default: 8; 0 hides the path)")
     return parser
 
 
@@ -473,7 +500,20 @@ def cmd_trace(args) -> int:
     _print_fault_summary(result)
     telemetry = result.telemetry
 
-    counts = telemetry.counts_by_kind()
+    events = telemetry.events
+    kinds = set(args.kind or ())
+    if args.job is not None or kinds:
+        events = [e for e in events
+                  if (args.job is None or e.job_id == args.job)
+                  and (not kinds or e.kind in kinds)]
+        label = " ".join(filter(None, [
+            f"job={args.job}" if args.job is not None else None,
+            f"kind={','.join(sorted(kinds))}" if kinds else None]))
+        print(f"filter {label}: {len(events)} of "
+              f"{len(telemetry.events)} retained events match")
+    counts: dict = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
     print(ascii_table(["event kind", "count"],
                       [[kind, counts[kind]] for kind in sorted(counts)],
                       title="Trace events"))
@@ -483,8 +523,8 @@ def cmd_trace(args) -> int:
               "run; the JSONL sink, if set, has the full log)",
               file=sys.stderr)
     if args.tail is not None and args.tail > 0:
-        tail = telemetry.events[-args.tail:]
-        print(f"Last {len(tail)} of {len(telemetry.events)} retained "
+        tail = events[-args.tail:]
+        print(f"Last {len(tail)} of {len(events)} retained "
               "events:")
         for event in tail:
             print(f"  {event.to_json()}")
@@ -701,6 +741,7 @@ def _report_bench_diff(args, profiler, result, n_jobs: int):
 def cmd_report(args) -> int:
     from repro.obs import SeriesCollector, SimProfiler
     from repro.obs.audit import DecisionAudit
+    from repro.obs.lineage import LineageCollector
     from repro.obs.report import build_report, write_report
 
     os.makedirs(args.out, exist_ok=True)
@@ -714,8 +755,10 @@ def cmd_report(args) -> int:
           f"({len(cluster.vcs)} VCs) under {args.scheduler} [report]")
     profiler = SimProfiler()
     series = SeriesCollector(interval=args.series_interval)
+    lineage = LineageCollector()
     simulator = Simulator(cluster, jobs, scheduler,
                           profile=profiler, series=series,
+                          lineage=lineage,
                           faults=_fault_spec(args),
                           sanitize=args.sanitize)
     result = simulator.run()
@@ -734,7 +777,7 @@ def cmd_report(args) -> int:
                             trace=args.trace, jobs=len(jobs),
                             seed=args.seed, profiler=profiler,
                             series=series, audit=audit,
-                            bench_diff=bench_diff)
+                            bench_diff=bench_diff, lineage=lineage)
     html_path, json_path = write_report(document, args.out)
     if audit is not None:
         decisions, with_attr = audit.attribution_coverage()
@@ -745,6 +788,45 @@ def cmd_report(args) -> int:
     print(f"wrote {html_path}")
     print(f"wrote {json_path}")
     return 0
+
+
+def _edit_distance(a: str, b: str) -> int:
+    """Plain Levenshtein distance (small inputs: job-id digit strings)."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            current.append(min(previous[j] + 1, current[j - 1] + 1,
+                               previous[j - 1] + (ch_a != ch_b)))
+        previous = current
+    return previous[-1]
+
+
+def _nearest_ids(target: int, known, n: int = 3) -> List[int]:
+    """The n known job ids nearest ``target`` by digit edit distance.
+
+    Ties break on numeric distance then on the id itself, so the
+    suggestion list is deterministic for a given index.
+    """
+    text = str(target)
+    ranked = sorted(
+        set(known),
+        key=lambda jid: (_edit_distance(text, str(jid)),
+                         abs(jid - target), jid))
+    return ranked[:n]
+
+
+def _suggest_ids(target: int, known) -> str:
+    """``"; did you mean 17, 71 or 107?"`` (empty when nothing known)."""
+    nearest = _nearest_ids(target, known)
+    if not nearest:
+        return ""
+    listed = ", ".join(str(jid) for jid in nearest[:-1])
+    tail = (f"{listed} or {nearest[-1]}" if listed
+            else str(nearest[-1]))
+    return f"; did you mean {tail}?"
 
 
 def _parse_what_if(specs) -> dict:
@@ -789,7 +871,9 @@ def cmd_explain(args) -> int:
                   sanitize=args.sanitize).run()
     decisions = audit.for_job(args.job_id)
     if not decisions:
-        print(f"no recorded decisions for job {args.job_id}",
+        hint = _suggest_ids(args.job_id,
+                            (rec.job_id for rec in audit.records))
+        print(f"no recorded decisions for job {args.job_id}{hint}",
               file=sys.stderr)
         return 1
     try:
@@ -818,6 +902,92 @@ def cmd_explain(args) -> int:
             print(decision.explain())
         if counterfactual is not None:
             print(counterfactual.render())
+    return 0
+
+
+def cmd_why(args) -> int:
+    import json as _json
+
+    from repro.obs.lineage import (
+        LineageCollector,
+        critical_path,
+        decompose,
+        lineage_from_trace,
+    )
+
+    if os.path.isfile(args.trace) and args.trace.endswith(".jsonl"):
+        # Offline: rebuild the causal DAG from an exported event log.
+        from repro.obs.tracer import events_from_dicts, read_jsonl
+        collector = lineage_from_trace(
+            events_from_dicts(read_jsonl(args.trace)))
+        source = args.trace
+    else:
+        cluster, history, jobs = _load(args)
+        if args.format != "json":  # keep JSON stdout machine-parseable
+            print(f"{len(jobs)} jobs on {cluster.n_gpus} GPUs "
+                  f"({len(cluster.vcs)} VCs) under {args.scheduler} "
+                  "[lineage]")
+        collector = LineageCollector()
+        Simulator(cluster, jobs, make_scheduler(args.scheduler, history),
+                  faults=_fault_spec(args), lineage=collector,
+                  sanitize=args.sanitize).run()
+        source = f"{args.scheduler} × {args.trace}"
+    try:
+        decomposition = decompose(collector, args.job_id)
+    except KeyError:
+        hint = _suggest_ids(args.job_id, collector.job_ids())
+        print(f"error: no lineage recorded for job {args.job_id}{hint}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    chain = critical_path(collector, args.job_id)
+
+    if args.format == "json":
+        document = {
+            "source": source,
+            "decomposition": decomposition.as_dict(),
+            "critical_path": [e.as_dict() for e in chain],
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    jct = decomposition.jct
+    print(f"job {args.job_id} ({decomposition.outcome}) — "
+          f"JCT {jct:,.1f} s  [submit t={decomposition.submit_time:,.1f}, "
+          f"end t={decomposition.end_time:,.1f}; {source}]")
+    rows = [[name, seconds, (seconds / jct if jct > 0 else 0.0)]
+            for name, seconds in decomposition.components().items()]
+    rows.append(["total", decomposition.total(),
+                 1.0 if jct > 0 else 0.0])
+    print(ascii_table(["component", "seconds", "share"], rows))
+    if abs(decomposition.residual) > 0:
+        print(f"(fsum residual {decomposition.residual:.3e} folded into "
+              "the largest component)")
+    if decomposition.blockers:
+        blamed = sorted(decomposition.blockers.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        listed = ", ".join(f"job {jid} (+{seconds:,.1f} s)"
+                           for jid, seconds in blamed)
+        print(f"blocked by: {listed}")
+        if decomposition.unattributed_wait > 1e-9:
+            print(f"  plus {decomposition.unattributed_wait:,.1f} s of "
+                  "main-queue wait with no nameable blocker")
+    elif decomposition.pending_main > 1e-9:
+        print(f"main-queue wait {decomposition.pending_main:,.1f} s "
+              "had no nameable blocker (idle capacity / policy wait)")
+    else:
+        print("never waited in the main queue")
+    if args.path > 0 and chain:
+        shown = chain[-args.path:]
+        print(f"critical path (last {len(shown)} of {len(chain)} "
+              "events):")
+        for event in shown:
+            who = "" if event.job_id is None else f" job={event.job_id}"
+            route = collector.route_of(event)
+            via = f" routed={route}" if route else ""
+            print(f"  t={event.time:>12,.1f}  {event.kind}{who}{via}")
     return 0
 
 
@@ -1020,6 +1190,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": cmd_bench,
         "report": cmd_report,
         "explain": cmd_explain,
+        "why": cmd_why,
         "serve": cmd_serve,
         "serve-status": cmd_serve_status,
         "serve-chaos": cmd_serve_chaos,

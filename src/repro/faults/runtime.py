@@ -24,7 +24,7 @@ executes the exact instruction stream of the seed engine.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.faults.injector import FaultInjector
 from repro.obs.logutil import get_logger
@@ -103,6 +103,9 @@ class FaultRuntime:
         for gpu in node.gpus:
             victims.update(gpu.residents)
         engine = self._engine
+        if engine.lineage is not None:
+            engine.lineage.on_node_fail(now, node.node_id,
+                                        sorted(victims))
         if engine._tracing:
             engine.tracer.emit(now, "node_fail", None, target=target,
                                node=node.node_id, victims=sorted(victims))
@@ -125,6 +128,8 @@ class FaultRuntime:
         if down is not None:
             self.repair_seconds += now - down
         engine = self._engine
+        if engine.lineage is not None:
+            engine.lineage.on_node_recover(now, node.node_id)
         if engine._tracing:
             engine.tracer.emit(now, "node_recover", None, target=target,
                                node=node.node_id)
@@ -160,7 +165,8 @@ class FaultRuntime:
             # Retry budget exhausted: all surviving progress is wasted too.
             job.lost_work += old_progress
             self.lost_gpu_seconds += old_progress * job.gpu_num
-            self._fail_permanently(job, now, cause)
+            self._fail_permanently(job, now, cause, gpus=gpus,
+                                   profiling=state.is_profiling)
         else:
             # Profiling runs restart from scratch (Lucid is non-intrusive:
             # no checkpoints in the profiler); main runs keep the last
@@ -176,19 +182,28 @@ class FaultRuntime:
             job.status = JobStatus.CRASHED
             delay = self.policy.backoff(job.restarts)
             engine.events.push(now + delay, EventKind.RETRY, job.job_id)
+            if engine.lineage is not None:
+                engine.lineage.on_crash(
+                    now, job.job_id, [g.gpu_id for g in gpus],
+                    cause=cause, lost=lost, backoff=delay,
+                    progress=job.progress,
+                    profiling=state.is_profiling)
             if engine._tracing:
                 engine.tracer.emit(now, "crash", job.job_id, cause=cause,
                                    restarts=job.restarts, lost=lost,
                                    backoff=delay,
                                    gpus=[g.gpu_id for g in gpus],
                                    nodes=[g.node_id for g in gpus],
+                                   progress=job.progress,
                                    profiling=state.is_profiling)
                 engine.metrics.counter("fault_job_crashes").inc()
                 engine.metrics.counter("job_restarts").inc()
         engine._refresh_speeds_around(gpus)
         engine.utilization.update(now)
 
-    def _fail_permanently(self, job: Job, now: float, cause: str) -> None:
+    def _fail_permanently(self, job: Job, now: float, cause: str,
+                          gpus: Sequence = (),
+                          profiling: bool = False) -> None:
         engine = self._engine
         job.status = JobStatus.FAILED
         job.finish_time = now
@@ -197,9 +212,17 @@ class FaultRuntime:
         self.jobs_failed += 1
         logger.debug("t=%.0fs job %d failed permanently after %d restarts",
                      now, job.job_id, job.restarts)
+        if engine.lineage is not None:
+            engine.lineage.on_job_failed(
+                now, job.job_id, cause=cause,
+                gpus=[g.gpu_id for g in gpus],
+                progress=job.progress, profiling=profiling)
         if engine._tracing:
             engine.tracer.emit(now, "job_failed", job.job_id, cause=cause,
-                               restarts=job.restarts)
+                               restarts=job.restarts,
+                               gpus=[g.gpu_id for g in gpus],
+                               nodes=[g.node_id for g in gpus],
+                               progress=job.progress)
             engine.metrics.counter("fault_job_crashes").inc()
             engine.metrics.counter("jobs_failed").inc()
         self._notify_scheduler(job, now, permanent=True)
@@ -209,6 +232,8 @@ class FaultRuntime:
         if job.status is not JobStatus.CRASHED:
             return
         job.status = JobStatus.PENDING
+        if self._engine.lineage is not None:
+            self._engine.lineage.on_retry(now, job.job_id)
         if self._engine._tracing:
             self._engine.tracer.emit(now, "retry", job.job_id,
                                      restarts=job.restarts)

@@ -12,6 +12,10 @@ that makes the reproduction observable end to end:
 * :mod:`repro.obs.live` — the serve daemon's live telemetry plane:
   labeled metric families, Prometheus text exposition, and the
   zero-dependency ``/dashboard`` page.
+* :mod:`repro.obs.lineage` — the causal event DAG and exact JCT
+  decomposition (``Simulator(lineage=...)``): why a job was slow,
+  which jobs blocked it, the event chain that determined its JCT
+  (``repro why``), live or offline from a trace JSONL.
 * :mod:`repro.obs.timeline` — Chrome trace-event export (per-GPU lanes
   for ``chrome://tracing`` / Perfetto).
 * :mod:`repro.obs.prof` — simulator self-profiling
@@ -42,6 +46,19 @@ from repro.obs.audit import (
     DecisionAudit,
     PlacementDecision,
     RefitRecord,
+)
+from repro.obs.lineage import (
+    COMPONENTS,
+    LINEAGE_CAUSE_SCHEMA,
+    BlameRow,
+    JCTDecomposition,
+    LineageCollector,
+    LineageEvent,
+    blame_table,
+    critical_path,
+    decompose,
+    decompose_all,
+    lineage_from_trace,
 )
 from repro.obs.live import (
     CONTENT_TYPE_PROMETHEUS,
@@ -113,6 +130,17 @@ __all__ = [
     "configure_logging",
     "get_logger",
     "log_context",
+    "COMPONENTS",
+    "LINEAGE_CAUSE_SCHEMA",
+    "BlameRow",
+    "JCTDecomposition",
+    "LineageCollector",
+    "LineageEvent",
+    "blame_table",
+    "critical_path",
+    "decompose",
+    "decompose_all",
+    "lineage_from_trace",
     "CONTENT_TYPE_PROMETHEUS",
     "DEFAULT_LATENCY_BUCKETS",
     "LiveRegistry",

@@ -352,7 +352,11 @@ function seriesKey(s) {
 }
 function render(doc) {
   var rows = [];
+  var dropped = 0;
   doc.families.forEach(function (fam) {
+    if (fam.name.indexOf('tracer_dropped_events_total') !== -1) {
+      fam.samples.forEach(function (s) { dropped += s.value || 0; });
+    }
     fam.samples.forEach(function (s) {
       var key = seriesKey(s);
       var label = fam.name + (key ? '{' + key + '}' : '');
@@ -366,6 +370,17 @@ function render(doc) {
       }
     });
   });
+  var banner = document.getElementById('dropped-banner');
+  if (banner) {
+    if (dropped > 0) {
+      banner.style.display = '';
+      banner.textContent = 'warning: ' + fmt(dropped)
+        + ' trace events dropped (ring-buffer overflow) — the event'
+        + ' log and any lineage built from it are incomplete';
+    } else {
+      banner.style.display = 'none';
+    }
+  }
   var body = document.getElementById('metric-rows');
   body.textContent = '';
   rows.forEach(function (row) {
@@ -457,6 +472,7 @@ def render_dashboard(registry: LiveRegistry, title: str = "repro serve",
 <h1>{_esc(title)} — live telemetry</h1>
 <p class="meta">Polling <code>/metrics</code> every
 {poll_seconds:g}s · <span id="scrape-state">connecting…</span></p>
+<p id="dropped-banner" class="warn" style="display:none"></p>
 <h2>Current values</h2>
 <table>
 <thead><tr><th>series</th><th>value</th></tr></thead>

@@ -27,6 +27,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.ioutil import atomic_write_text
+from repro.obs.lineage import COMPONENTS, blame_table, decompose_all
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -43,7 +44,11 @@ REPORT_SCHEMA = "repro-report/v1"
 #: Top-level keys every report document must carry (``None`` marks an
 #: absent optional section, but the key itself is always present).
 _DOC_KEYS = ("schema", "created", "run", "summary", "series", "profile",
-             "faults", "attributions", "audit", "bench_diff")
+             "faults", "attributions", "audit", "bench_diff", "lineage")
+
+#: Keys tolerated absent on load: documents written before the section
+#: existed stay valid under the same schema tag.
+_OPTIONAL_DOC_KEYS = ("lineage",)
 
 #: Keys of the mandatory ``run`` section.
 _RUN_KEYS = ("scheduler", "trace", "jobs", "seed")
@@ -59,6 +64,7 @@ def build_report(result: Any, *, scheduler: str, trace: str, jobs: int,
                  seed: Optional[int], profiler: Optional[Any] = None,
                  series: Optional[Any] = None, audit: Optional[Any] = None,
                  bench_diff: Optional[Dict[str, Any]] = None,
+                 lineage: Optional[Any] = None,
                  created: Optional[str] = None) -> Dict[str, Any]:
     """Assemble the ``repro-report/v1`` document for one finished run.
 
@@ -79,6 +85,10 @@ def build_report(result: Any, *, scheduler: str, trace: str, jobs: int,
     bench_diff:
         Optional ``{"threshold": float, "rows": [...], "regressions":
         [...]}`` produced by diffing this run against a bench baseline.
+    lineage:
+        Optional :class:`~repro.obs.lineage.LineageCollector` that
+        observed the run; populates the JCT-decomposition waterfall and
+        blame sections.
     created:
         Timestamp override (tests); defaults to the current local time.
     """
@@ -95,8 +105,33 @@ def build_report(result: Any, *, scheduler: str, trace: str, jobs: int,
         "attributions": _attribution_section(audit),
         "audit": _audit_section(audit),
         "bench_diff": bench_diff,
+        "lineage": _lineage_section(lineage),
     }
     return document
+
+
+def _lineage_section(lineage: Optional[Any]) -> Optional[Dict[str, Any]]:
+    """JCT decompositions rolled up for the report (``None`` when the
+    run carried no lineage collector)."""
+    if lineage is None:
+        return None
+    decompositions = decompose_all(lineage)
+    totals = {name: 0.0 for name in COMPONENTS}
+    for decomposition in decompositions.values():
+        for name, seconds in decomposition.components().items():
+            totals[name] += seconds
+    slowest = sorted(decompositions.values(),
+                     key=lambda d: (-d.jct, d.job_id))[:12]
+    return {
+        "jobs": len(decompositions),
+        "components_total": totals,
+        "blame": [{"job_id": row.job_id,
+                   "induced_wait": row.induced_wait,
+                   "n_victims": row.n_victims}
+                  for row in blame_table(decompositions)],
+        "slowest": [{"job_id": d.job_id, "jct": d.jct,
+                     "components": d.components()} for d in slowest],
+    }
 
 
 def _fault_section(result: Any) -> Optional[Dict[str, Any]]:
@@ -181,7 +216,8 @@ def validate_report(document: Dict[str, Any]) -> None:
         raise ValueError(f"unsupported report schema "
                          f"{document.get('schema')!r}; "
                          f"expected {REPORT_SCHEMA!r}")
-    missing = [k for k in _DOC_KEYS if k not in document]
+    missing = [k for k in _DOC_KEYS
+               if k not in document and k not in _OPTIONAL_DOC_KEYS]
     if missing:
         raise ValueError(f"report document misses keys: {missing}")
     run = document["run"]
@@ -454,6 +490,92 @@ def _faults_html(faults: Optional[Dict[str, Any]]) -> str:
           faults["lost_gpu_hours"], faults["mttr_hrs"]]])
 
 
+#: Fill colors for the JCT-decomposition waterfall, one per component.
+_LINEAGE_COLORS = {
+    "pending_profiling": "#9ecae1",
+    "pending_main": "#d95f0e",
+    "sharing_slowdown": "#fdae6b",
+    "preemption_overhead": "#756bb1",
+    "fault_retry": "#b03030",
+    "compute": "#31a354",
+}
+
+
+def _svg_waterfall(rows: Sequence[Tuple[str, Dict[str, float]]],
+                   width: int = 640) -> str:
+    """Horizontal stacked bars: one row per job, one segment per
+    nonzero JCT component, all bars on a shared seconds scale."""
+    if not rows:
+        return "<p class=\"meta\">no completed jobs</p>"
+    scale = max(sum(components.values()) for _, components in rows)
+    if scale <= 0:
+        return "<p class=\"meta\">no completed jobs</p>"
+    bar_h, gap, pad_l, pad_r = 16, 6, 90, 8
+    plot_w = width - pad_l - pad_r
+    height = len(rows) * (bar_h + gap) + gap
+    parts: List[str] = [
+        f"<svg width=\"{width}\" height=\"{height}\" role=\"img\" "
+        f"xmlns=\"http://www.w3.org/2000/svg\">"]
+    for idx, (label, components) in enumerate(rows):
+        y = gap + idx * (bar_h + gap)
+        parts.append(
+            f"<text x=\"{pad_l - 6}\" y=\"{y + bar_h - 4}\" "
+            f"font-size=\"11\" text-anchor=\"end\" fill=\"#1c2733\">"
+            f"{_esc(label)}</text>")
+        x = float(pad_l)
+        for name in COMPONENTS:
+            seconds = max(0.0, components.get(name, 0.0))
+            seg_w = seconds / scale * plot_w
+            if seg_w < 0.25:
+                continue
+            color = _LINEAGE_COLORS.get(name, "#888888")
+            parts.append(
+                f"<rect x=\"{x:.1f}\" y=\"{y}\" width=\"{seg_w:.1f}\" "
+                f"height=\"{bar_h}\" fill=\"{color}\">"
+                f"<title>{_esc(name)}: {seconds:,.1f} s</title></rect>")
+            x += seg_w
+    parts.append("</svg>")
+    legend = "".join(
+        f"<span><span class=\"swatch\" style=\"background:"
+        f"{_LINEAGE_COLORS[name]}\"></span>{_esc(name)}</span>"
+        for name in COMPONENTS)
+    parts.append(f"<div class=\"legend\">{legend}</div>")
+    return "".join(parts)
+
+
+def _lineage_html(lineage: Optional[Dict[str, Any]]) -> str:
+    if lineage is None:
+        return ("<p class=\"meta\">lineage not collected (rerun "
+                "<code>repro report</code> on a build with the causal "
+                "lineage plane, or see <code>repro why</code>)</p>")
+    if not lineage.get("jobs"):
+        return "<p class=\"meta\">no completed jobs to decompose</p>"
+    totals = lineage.get("components_total") or {}
+    grand = sum(totals.values()) or 1.0
+    out = (f"<p>{lineage['jobs']} completed jobs decomposed; every "
+           "job's components sum exactly to its JCT "
+           "(<code>repro why &lt;job_id&gt;</code> drills into one "
+           "job).</p>")
+    out += _html_table(
+        ["component", "total seconds", "share"],
+        [[name, totals.get(name, 0.0), totals.get(name, 0.0) / grand]
+         for name in COMPONENTS])
+    slowest = lineage.get("slowest") or []
+    if slowest:
+        out += "<h3>Slowest jobs — where the time went</h3>"
+        out += _svg_waterfall(
+            [(f"job {row['job_id']}", dict(row["components"]))
+             for row in slowest])
+    blame = lineage.get("blame") or []
+    if blame:
+        out += "<h3>Top blockers — induced main-queue wait</h3>"
+        out += _html_table(
+            ["blocking job", "induced wait (s)", "victims"],
+            [[row["job_id"], row["induced_wait"], row["n_victims"]]
+             for row in blame])
+    return out
+
+
 def _bench_diff_html(diff: Optional[Dict[str, Any]]) -> str:
     if diff is None:
         return ""
@@ -498,6 +620,8 @@ def render_html(document: Dict[str, Any]) -> str:
         _attribution_html(document["attributions"]),
         "<h2>Decision audit</h2>",
         _audit_html(document["audit"]),
+        "<h2>Why were jobs slow? — JCT decomposition</h2>",
+        _lineage_html(document.get("lineage")),
         "<h2>Simulator profile</h2>",
         _profile_html(document["profile"]),
         "<h2>Faults</h2>",

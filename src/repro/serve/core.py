@@ -267,16 +267,18 @@ class SimCore:
         """Pickle the core for a store snapshot.
 
         The engine's observers never belong in a snapshot: the tracer
-        singleton and the daemon's live-telemetry profiler (attached
-        when serve telemetry is on) are stashed out before pickling so
-        the blob captures pure simulation state — a snapshot taken with
-        telemetry on is byte-compatible with one taken without — and
-        both are restored on the way out.
+        singleton and the daemon's live-telemetry profiler and lineage
+        collector (attached when serve telemetry is on) are stashed out
+        before pickling so the blob captures pure simulation state — a
+        snapshot taken with telemetry on is byte-compatible with one
+        taken without — and all are restored on the way out.
         """
         tracer = self.sim.tracer
         profiler = self.sim.profiler
+        lineage = self.sim.lineage
         self.sim.tracer = None
         self.sim.profiler = None
+        self.sim.lineage = None
         try:
             payload = {
                 "config": self.config.to_json(),
@@ -290,6 +292,7 @@ class SimCore:
         finally:
             self.sim.tracer = tracer
             self.sim.profiler = profiler
+            self.sim.lineage = lineage
 
     @classmethod
     def from_blob(cls, blob: bytes) -> "SimCore":
@@ -297,6 +300,7 @@ class SimCore:
         sim: Simulator = payload["sim"]
         sim.tracer = NULL_TRACER
         sim.profiler = None
+        sim.lineage = None
         core = cls(ServeConfig.from_json(payload["config"]), sim,
                    next_job_id=int(payload["next_job_id"]),
                    consumed=set(payload["consumed"]),

@@ -40,6 +40,8 @@ import time
 from types import FrameType
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.obs.lineage import (COMPONENTS, JCTDecomposition,
+                               LineageCollector, decompose)
 from repro.obs.live import (DEFAULT_SIZE_BUCKETS, LiveRegistry,
                             publish_profiler, render_dashboard)
 from repro.obs.logutil import get_logger, log_context
@@ -128,6 +130,14 @@ class ServeDaemon:
             LiveRegistry() if telemetry else None
         self.profiler: Optional[SimProfiler] = \
             SimProfiler() if telemetry else None
+        self.lineage: Optional[LineageCollector] = \
+            LineageCollector() if telemetry else None
+        #: Memoized per-job decompositions feeding the queue-component
+        #: gauges (a finished job's decomposition never changes).
+        self._decomposed: Dict[int, JCTDecomposition] = {}
+        self._component_totals: Dict[str, float] = \
+            {name: 0.0 for name in COMPONENTS}
+        self._dropped_published = 0
 
         self.store: Optional[Store] = None
         self.wal: Optional[WriteAheadLog] = None
@@ -173,11 +183,19 @@ class ServeDaemon:
             live.gauge("serve_recovery_torn_records",
                        "Torn WAL records truncated at the last boot"
                        ).set(float(self.recovery.torn_records))
-            # The profiler observes the engine from here on; it is
-            # stashed out of snapshot blobs (see SimCore.to_blob) and
-            # feeds nothing back, so the event stream stays identical.
+            # The profiler and lineage collector observe the engine
+            # from here on; both are stashed out of snapshot blobs (see
+            # SimCore.to_blob) and feed nothing back, so the event
+            # stream stays identical.
             self.core.sim.profiler = self.profiler
+            self.core.sim.lineage = self.lineage
             self.wal.on_append = self._observe_wal_append
+            # Register at zero so the dropped-events counter and the
+            # queue gauges are scrapable before the first refresh.
+            live.counter("tracer_dropped_events_total",
+                         "Trace events dropped by the ring buffer "
+                         "(nonzero = the event log is incomplete)")
+            self._publish_lineage(live)
         self._admitted_any = bool(self.core.sim.jobs)
         # Dirty until a graceful close: a SIGKILL from here on leaves
         # clean=0 behind and the next boot knows to distrust the tail.
@@ -323,6 +341,10 @@ class ServeDaemon:
         live.gauge("serve_events_processed",
                    "Simulator events dispatched since genesis"
                    ).set(float(core.sim._events_processed), time=when)
+        # Per-tick, not on the refresh interval: a drained run would
+        # otherwise never publish its final decompositions (no further
+        # ticks fire).  Incremental totals keep this O(new completions).
+        self._publish_lineage(live)
         if core.tick % self.telemetry_refresh == 0:
             self._publish_slow(live)
 
@@ -342,6 +364,51 @@ class ServeDaemon:
                    ).set(float(self.store.db_bytes()))
         live.gauge("serve_snapshots", "Snapshots held by the store"
                    ).set(float(len(self.store.snapshot_ticks())))
+
+    def _publish_lineage(self, live: LiveRegistry) -> None:
+        """Queue-delay component gauges from the causal lineage.
+
+        Each completed job is decomposed exactly once (memoized); the
+        gauges publish cumulative seconds per JCT component across all
+        completed jobs, so ``/metrics`` answers "where is admitted
+        work's time going?" without touching the hot path.  Also
+        mirrors the tracer's ring-buffer drop count as a counter.
+        """
+        assert self.core is not None
+        lineage = self.lineage
+        if lineage is not None:
+            for job_id in lineage.completed_job_ids():
+                if job_id in self._decomposed:
+                    continue
+                try:
+                    decomposition = decompose(lineage, job_id)
+                except (KeyError, ValueError):  # racing a partial job
+                    continue
+                self._decomposed[job_id] = decomposition
+                for name, seconds in decomposition.components().items():
+                    self._component_totals[name] += seconds
+            for name, seconds in sorted(self._component_totals.items()):
+                live.gauge(
+                    "serve_queue_component_seconds",
+                    "Cumulative JCT-decomposition seconds across "
+                    "completed jobs, per causal component",
+                    {"component": name}).set(seconds)
+            live.gauge("serve_jobs_decomposed",
+                       "Completed jobs with a published JCT "
+                       "decomposition").set(float(len(self._decomposed)))
+            if lineage.n_dropped:
+                live.gauge("serve_lineage_dropped_events",
+                           "Lineage events dropped at the collector "
+                           "cap (decompositions may be partial)"
+                           ).set(float(lineage.n_dropped))
+        dropped = int(getattr(self.core.sim.tracer, "n_dropped", 0) or 0)
+        if dropped > self._dropped_published:
+            live.counter(
+                "tracer_dropped_events_total",
+                "Trace events dropped by the ring buffer "
+                "(nonzero = the event log is incomplete)"
+            ).inc(float(dropped - self._dropped_published))
+            self._dropped_published = dropped
 
     def _observe_wal_append(self, kind: str, nbytes: int,
                             seconds: float) -> None:

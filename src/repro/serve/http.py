@@ -15,6 +15,9 @@ Endpoints:
   original JSON counter document; ``?format=live`` returns the registry
   itself as JSON (what the dashboard polls).  With telemetry disabled
   the text form answers ``503`` and the JSON form keeps working.
+  Includes the causal-lineage queue-delay gauges
+  (``repro_serve_queue_component_seconds{component=...}``) and the
+  ``repro_tracer_dropped_events_total`` counter.
 * ``GET /dashboard`` — the self-contained live dashboard page
   (``503`` when telemetry is off).
 * ``GET /healthz`` — ``200 ok`` while the service loop heartbeat is

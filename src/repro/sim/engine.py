@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Union
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.gpu import GPU
+from repro.obs.lineage import LineageCollector
 from repro.obs.logutil import get_logger
 from repro.obs.metrics import MetricsRegistry, Telemetry
 from repro.obs.prof import SimProfiler
@@ -125,7 +126,8 @@ class Simulator:
                  faults: Optional[Union["FaultSpec", "FaultInjector"]] = None,
                  sanitize: bool = False,
                  profile: Union[bool, SimProfiler, None] = None,
-                 series: Optional[SeriesCollector] = None) -> None:
+                 series: Optional[SeriesCollector] = None,
+                 lineage: Optional["LineageCollector"] = None) -> None:
         self.cluster = cluster
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         if len(self.jobs) != len(jobs):
@@ -181,6 +183,11 @@ class Simulator:
         self.series = series
         if self.series is not None:
             self.series.attach(self)
+        #: Causal lineage collector (:mod:`repro.obs.lineage`);
+        #: ``None`` when disabled — hook sites pay one identity check
+        #: and the collector itself never mutates simulation state, so
+        #: ``lineage=None`` runs stay bit-identical.
+        self.lineage = lineage
 
     # ------------------------------------------------------------------
     # Public API for schedulers
@@ -264,6 +271,11 @@ class Simulator:
         # A new resident slows any mates down; refresh the whole GPU set.
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self.lineage is not None:
+            self.lineage.on_start(
+                self.now, job.job_id, [g.gpu_id for g in gpus],
+                profiling=profiling, overhead=state.overhead_left,
+                progress=job.progress)
         if self._tracing:
             mates = [m.job_id for m in self.mates_of(job)]
             self.tracer.emit(
@@ -272,6 +284,7 @@ class Simulator:
                 nodes=[g.node_id for g in gpus], speed=state.speed,
                 mates=mates, profiling=profiling,
                 overhead=state.overhead_left,
+                progress=job.progress,
                 time_limit=time_limit)
             self.metrics.counter("jobs_started").inc()
             if profiling:
@@ -294,6 +307,11 @@ class Simulator:
             job.status = JobStatus.PENDING
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self.lineage is not None:
+            self.lineage.on_stop(
+                self.now, job.job_id, [g.gpu_id for g in gpus],
+                preempted=preempted, progress=job.progress,
+                profiling=state.is_profiling)
         if self._tracing:
             self.tracer.emit(
                 self.now, "preempt" if preempted else "stop", job.job_id,
@@ -509,6 +527,9 @@ class Simulator:
         if event.kind is EventKind.SUBMIT:
             job = self.jobs[event.job_id]
             job.status = JobStatus.PENDING
+            if self.lineage is not None:
+                self.lineage.on_submit(self.now, job.job_id,
+                                       gpu_num=job.gpu_num, vc=job.vc)
             if self._tracing:
                 self.tracer.emit(self.now, "submit", job.job_id,
                                  gpu_num=job.gpu_num, vc=job.vc)
@@ -546,11 +567,17 @@ class Simulator:
         self._unfinished -= 1
         self._refresh_speeds_around(gpus)
         self.utilization.update(self.now)
+        if self.lineage is not None:
+            self.lineage.on_finish(
+                self.now, job.job_id, [g.gpu_id for g in gpus],
+                progress=job.progress, profiling=state.is_profiling,
+                jct=job.jct)
         if self._tracing:
             self.tracer.emit(self.now, "finish", job.job_id,
                              gpus=[g.gpu_id for g in gpus],
                              nodes=[g.node_id for g in gpus],
                              jct=job.jct, queue_delay=job.queue_delay,
+                             progress=job.progress,
                              profiling=state.is_profiling)
             self.metrics.counter("jobs_finished").inc()
         self.scheduler.on_job_finish(job, self.now)
@@ -564,6 +591,10 @@ class Simulator:
         job = self.jobs[event.job_id]
         self._integrate(job, state)
         state.time_limit_at = None
+        if self.lineage is not None:
+            self.lineage.on_time_limit(self.now, job.job_id,
+                                       progress=job.progress,
+                                       profiling=state.is_profiling)
         if self._tracing:
             self.tracer.emit(self.now, "time_limit", job.job_id,
                              progress=job.progress,

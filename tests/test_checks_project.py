@@ -128,6 +128,18 @@ class TestSeededRegressions:
         assert "RPR111" in [f.code for f in findings]
         rpr111 = [f for f in findings if f.code == "RPR111"]
         assert any("backfill" in f.message for f in rpr111)
+        # The same new kind must also declare its lineage cause story.
+        rpr114 = [f for f in findings if f.code == "RPR114"]
+        assert any("backfill" in f.message for f in rpr114)
+        assert all(f.path.endswith("obs/lineage.py") for f in rpr114)
+
+    def test_stale_lineage_cause_entry(self, tree_copy):
+        inject(tree_copy, "src/repro/obs/lineage.py",
+               "LINEAGE_CAUSE_SCHEMA: Dict[str, str] = {",
+               '    "warp_drive": "no such event kind",')
+        findings = self.lint(tree_copy)
+        rpr114 = [f for f in findings if f.code == "RPR114"]
+        assert rpr114 and any("warp_drive" in f.message for f in rpr114)
 
 
 class TestRatchet:
